@@ -1,0 +1,107 @@
+// §4 ablation: stacked vs non-stacked dual-ToR reliability, Monte Carlo
+// over a fleet of dual-ToR pairs. The paper reports that over three years,
+// stack failures + upgrade incompatibilities caused >40% of critical
+// failures in the traditional (stacked) data centers; non-stacked dual-ToR
+// has run eight months with zero ToR-related single-point failures.
+#include "bench_common.h"
+#include "common/rng.h"
+#include "ctrl/dualtor.h"
+
+namespace {
+
+using namespace hpn;
+
+struct FleetOutcome {
+  int rack_outages = 0;
+  int stack_induced = 0;  ///< Outages with a healthy ToR forced down.
+};
+
+FleetOutcome simulate_fleet(bool stacked, int pairs, int months, std::uint64_t seed) {
+  // Monthly event probabilities per pair (scaled up for Monte Carlo
+  // resolution; both designs see identical event streams).
+  constexpr double kDataPlaneFail = 0.004;
+  constexpr double kSyncLinkFail = 0.002;
+  constexpr double kUpgrade = 0.10;        // rolling upgrades are routine
+  constexpr double kIssuTooBig = 0.70;     // §4.1: 70% of upgrades exceed ISSU
+  Rng rng{seed};
+
+  FleetOutcome out;
+  for (int p = 0; p < pairs; ++p) {
+    ctrl::StackedDualTorPair stacked_pair;
+    ctrl::NonStackedDualTorPair plain_pair;
+    int version = 1;
+    for (int m = 0; m < months; ++m) {
+      // Draw this month's events once so both designs face the same world.
+      const bool dp_fail = rng.bernoulli(kDataPlaneFail);
+      const bool sync_fail = rng.bernoulli(kSyncLinkFail);
+      const bool upgrade = rng.bernoulli(kUpgrade);
+      const bool big_diff = rng.bernoulli(kIssuTooBig);
+      const auto which = rng.bernoulli(0.5) ? ctrl::TorRole::kPrimary
+                                            : ctrl::TorRole::kSecondary;
+
+      if (dp_fail) {
+        stacked_pair.fail_data_plane(which);
+        plain_pair.fail_data_plane(which);
+      }
+      if (sync_fail) stacked_pair.fail_sync_link();
+      if (upgrade) {
+        ++version;
+        stacked_pair.set_issu_tolerance(big_diff ? 0 : 1);
+        stacked_pair.upgrade(ctrl::TorRole::kPrimary, version);
+        plain_pair.upgrade(ctrl::TorRole::kPrimary, version);
+        // The second ToR follows within the month...
+        stacked_pair.upgrade(ctrl::TorRole::kSecondary, version);
+        plain_pair.upgrade(ctrl::TorRole::kSecondary, version);
+      }
+
+      const bool rack_down = stacked ? !stacked_pair.rack_online() : !plain_pair.rack_online();
+      if (rack_down) {
+        ++out.rack_outages;
+        if (stacked) {
+          // Was a healthy ToR forced down (the stacked-only pathology)?
+          const auto& sec = stacked_pair.tor(ctrl::TorRole::kSecondary);
+          if (sec.self_shutdown && sec.data_plane_up) ++out.stack_induced;
+        }
+      }
+      // Monthly repair restores both pairs.
+      stacked_pair.repair(ctrl::TorRole::kPrimary);
+      stacked_pair.repair(ctrl::TorRole::kSecondary);
+      stacked_pair.repair_sync_link();
+      plain_pair.repair(ctrl::TorRole::kPrimary);
+      plain_pair.repair(ctrl::TorRole::kSecondary);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpn;
+  bench::banner("§4 ablation — stacked vs non-stacked dual-ToR reliability",
+                "stacked dual-ToR turns single-ToR faults into rack outages (>40% of "
+                "critical failures over 3y); non-stacked pairs never lose the rack to "
+                "a single fault");
+
+  const int pairs = 5'000, months = 36;
+  const FleetOutcome stacked = simulate_fleet(true, pairs, months, 99);
+  const FleetOutcome plain = simulate_fleet(false, pairs, months, 99);
+
+  metrics::Table t{"Monte Carlo: 5000 dual-ToR pairs over 36 months"};
+  t.columns({"design", "rack_outages", "outages_with_healthy_tor_forced_down"});
+  t.add_row({"stacked dual-ToR", std::to_string(stacked.rack_outages),
+             std::to_string(stacked.stack_induced)});
+  t.add_row({"non-stacked dual-ToR", std::to_string(plain.rack_outages),
+             std::to_string(plain.stack_induced)});
+  bench::emit(t, "ablation_dualtor");
+
+  const double frac = stacked.rack_outages
+                          ? static_cast<double>(stacked.stack_induced) / stacked.rack_outages
+                          : 0.0;
+  std::cout << "\nfraction of stacked outages caused by the stack itself: "
+            << metrics::Table::percent(frac, 1)
+            << " (paper: stack issues caused >40% of critical failures)\n"
+            << "non-stacked outages from single faults: " << plain.rack_outages
+            << " (paper: zero ToR-related single-point failures in 8 months)\n";
+  return 0;
+}

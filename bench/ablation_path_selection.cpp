@@ -1,0 +1,86 @@
+// §6.1 ablation: the optimized path selection (Algorithm 1 disjoint-path
+// connections + Algorithm 2 WQE least-loaded picking) vs blind ECMP
+// connections. Paper: four AllReduce tasks running concurrently on 512 GPUs
+// improve collective performance by up to 34.7%.
+#include "bench_common.h"
+#include "ccl/communicator.h"
+#include "topo/builders.h"
+
+namespace {
+
+using namespace hpn;
+
+double run_concurrent_allreduces(bool optimized) {
+  // 64 hosts over 4 segments; each of the 4 jobs straddles two segments so
+  // cross-segment paths contend at the Agg layer.
+  auto cfg = topo::HpnConfig::tiny();
+  cfg.segments_per_pod = 4;
+  cfg.hosts_per_segment = 16;
+  cfg.tor_uplinks = 60;   // production ToR fan-out: the O(60) search space
+  cfg.aggs_per_plane = 60;
+  topo::Cluster c = topo::build_hpn(cfg);
+
+  sim::Simulator s;
+  flowsim::FlowSession fs{c.topo, s};
+  routing::Router router{c.topo,
+                         routing::HashConfig{.seeds = routing::SeedPolicy::kIdentical}};
+  ccl::ConnectionConfig conn_cfg;
+  conn_cfg.conns_per_pair = optimized ? 4 : 2;
+  conn_cfg.disjoint_paths = optimized;
+  conn_cfg.wqe_load_balance = optimized;
+  ccl::ConnectionManager cm{c, router, conn_cfg};
+
+  // Job j uses hosts [8j .. 8j+8) of segment pairs (0,1) and (2,3)
+  // interleaved so jobs share Agg links.
+  std::vector<std::unique_ptr<ccl::Communicator>> comms;
+  for (int j = 0; j < 4; ++j) {
+    std::vector<int> ranks;
+    const int seg_a = (j % 2) * 2, seg_b = seg_a + 1;
+    for (int i = 0; i < 8; ++i) {
+      const int host_a = seg_a * 16 + (j / 2) * 8 + i;
+      const int host_b = seg_b * 16 + (j / 2) * 8 + i;
+      for (int r = 0; r < 8; ++r) ranks.push_back(host_a * 8 + r);
+      for (int r = 0; r < 8; ++r) ranks.push_back(host_b * 8 + r);
+    }
+    // Stepped rings: each ring step is a fresh message, so Algorithm 2's
+    // least-loaded pick can adapt per message (the whole point of the WQE
+    // counter); bulk mode would fuse everything into one message per edge.
+    ccl::CclConfig ccl_cfg;
+    ccl_cfg.bulk_rings = false;
+    ccl_cfg.pipeline_chunks = 2;
+    comms.push_back(std::make_unique<ccl::Communicator>(c, s, fs, cm, ranks, ccl_cfg));
+  }
+
+  const TimePoint start = s.now();
+  int remaining = 4;
+  for (auto& comm : comms) {
+    comm->multi_all_reduce(DataSize::gigabytes(1.0), [&remaining] { --remaining; });
+  }
+  while (remaining > 0 && s.step()) {
+  }
+  HPN_CHECK(remaining == 0);
+  return (s.now() - start).as_seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpn;
+  bench::banner("§6.1 ablation — optimized path selection (RePaC disjoint paths + WQE LB)",
+                "four concurrent AllReduce tasks on 512 GPUs: optimized path selection "
+                "improves collective performance by up to 34.7%");
+
+  const double blind_s = run_concurrent_allreduces(/*optimized=*/false);
+  const double opt_s = run_concurrent_allreduces(/*optimized=*/true);
+
+  metrics::Table t{"4 concurrent 1GB Multi-AllReduce jobs, 512 GPUs"};
+  t.columns({"path selection", "completion_s", "relative_speed"});
+  t.add_row({"blind ECMP connections", metrics::Table::num(blind_s, 3), "1.00x"});
+  t.add_row({"disjoint + WQE least-loaded", metrics::Table::num(opt_s, 3),
+             metrics::Table::num(blind_s / opt_s, 2) + "x"});
+  bench::emit(t, "ablation_path_selection");
+
+  std::cout << "\nimprovement: " << metrics::Table::percent(blind_s / opt_s - 1.0, 1)
+            << " (paper: up to +34.7%)\n";
+  return 0;
+}

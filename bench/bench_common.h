@@ -1,0 +1,24 @@
+// Shared scaffolding for the per-figure/table harness binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace hpn::bench {
+
+inline constexpr const char* kResultsDir = "results";
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << "paper: " << claim << "\n\n";
+}
+
+inline void emit(const metrics::Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = table.save_csv(kResultsDir, csv_name);
+  std::cout << "[csv] " << path << "\n";
+}
+
+}  // namespace hpn::bench

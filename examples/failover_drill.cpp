@@ -1,0 +1,78 @@
+// Failover drill: inject the §9.3 failure scenarios against a running
+// training job and watch the dual-ToR access layer absorb them.
+//
+//   $ ./failover_drill
+//
+// Sequence: healthy baseline -> NIC-ToR link failure -> ToR crash ->
+// repairs. Prints throughput and control-plane state after each event,
+// plus the LACP story of *why* two independent ToRs look like one bond.
+#include <iostream>
+
+#include "ctrl/fabric_controller.h"
+#include "ctrl/lacp.h"
+#include "train/training_job.h"
+#include "topo/builders.h"
+
+int main() {
+  using namespace hpn;
+
+  // The non-stacked dual-ToR illusion, first at the LACP level (§4.2):
+  ctrl::TorLacpConfig tor0_cfg, tor1_cfg;
+  tor1_cfg.port_id_offset = 600;  // distinct offsets, same reserved MAC
+  ctrl::TorLacpAgent tor0{tor0_cfg}, tor1{tor1_cfg};
+  const auto verdict =
+      ctrl::HostBond::evaluate(tor0.respond({}, 17), tor1.respond({}, 17));
+  std::cout << "LACP bundle across two independent ToRs: "
+            << (verdict.state == ctrl::HostBond::State::kAggregated ? "AGGREGATED"
+                                                                    : verdict.reason)
+            << " (sysID " << tor0_cfg.system_mac.to_string() << ")\n\n";
+
+  // Now the full fabric. 16 hosts / 128 GPUs, one segment.
+  auto cfg = topo::HpnConfig::tiny();
+  cfg.segments_per_pod = 1;
+  cfg.hosts_per_segment = 16;
+  topo::Cluster cluster = topo::build_hpn(cfg);
+  sim::Simulator sim;
+  flowsim::FlowSession session{cluster.topo, sim};
+  routing::Router router{cluster.topo};
+  ccl::ConnectionManager connections{cluster, router};
+  ctrl::FabricController fabric{cluster, sim, router};
+
+  auto model = workload::llama_7b();
+  model.compute_per_iteration = Duration::millis(200);
+  const auto plan = workload::ParallelismPlanner{cluster}.plan(8, 1, 16);
+  train::TrainingJob job{cluster, sim, session, connections, plan, model};
+
+  auto report = [&](const char* stage) {
+    std::cout << stage << ": " << job.steady_samples_per_sec(2) << " samples/s"
+              << "  (host0 tx ports usable: "
+              << fabric.host_tx_fraction(plan.hosts[0]) * 16 << "/16, isolated: "
+              << (fabric.host_isolated(plan.hosts[0]) ? "yes" : "no") << ")\n";
+  };
+
+  job.run_iterations(5);
+  report("baseline          ");
+
+  fabric.fail_access(plan.hosts[0], 0, 0);
+  job.on_fabric_change();
+  job.run_iterations(5);
+  report("link failure      ");
+
+  const NodeId tor = cluster.hosts[0].nics[3].tor[1];
+  fabric.fail_tor(tor);
+  job.on_fabric_change();
+  job.run_iterations(5);
+  report("+ ToR crash       ");
+
+  fabric.repair_tor(tor);
+  fabric.repair_access(plan.hosts[0], 0, 0);
+  job.on_fabric_change();
+  sim.run_for(fabric.timings().lacp_rejoin + Duration::millis(1));
+  job.run_iterations(5);
+  report("after repairs     ");
+
+  std::cout << "\njob state: "
+            << (job.state() == train::JobState::kRunning ? "RUNNING" : "CRASHED")
+            << " — no single-point failure took the job down (dual-ToR, §9.3)\n";
+  return 0;
+}

@@ -1,0 +1,208 @@
+// hpnsim — command-line front door to the library.
+//
+//   hpnsim build   [--arch hpn|dcn|fattree] [--segments N] [--hosts N]
+//                  [--pods N] [--no-dual-tor] [--no-dual-plane] [--rail-only]
+//   hpnsim trace   <src_rank> <dst_rank> [--sport P] (same build flags)
+//   hpnsim probe   <src_rank> <dst_rank>   INT probe + blueprint check
+//   hpnsim scale                           Table 2 / Table 4 arithmetic
+//
+// Examples:
+//   hpnsim build --arch hpn --segments 15 --hosts 128       # the paper Pod
+//   hpnsim trace 0 1024 --sport 4242
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "routing/int_probe.h"
+#include "routing/router.h"
+#include "topo/builders.h"
+#include "topo/scale.h"
+#include "topo/validate.h"
+
+namespace {
+
+using namespace hpn;
+
+struct Options {
+  std::string command;
+  std::string arch = "hpn";
+  int segments = 2;
+  int hosts = 4;
+  int pods = 1;
+  bool dual_tor = true;
+  bool dual_plane = true;
+  bool rail_only = false;
+  int src = 0;
+  int dst = 8;
+  std::uint16_t sport = 4242;
+};
+
+void usage() {
+  std::cout << "usage: hpnsim <build|trace|probe|scale> [options]\n"
+            << "  --arch hpn|dcn|fattree   architecture (default hpn)\n"
+            << "  --segments N --hosts N --pods N\n"
+            << "  --no-dual-tor --no-dual-plane --rail-only\n"
+            << "  trace/probe: <src_rank> <dst_rank> [--sport P]\n";
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  if (argc < 2) {
+    usage();
+    std::exit(1);
+  }
+  o.command = argv[1];
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) throw ConfigError{"missing value for " + a};
+      out = std::atoi(argv[++i]);
+    };
+    if (a == "--arch" && i + 1 < argc) {
+      o.arch = argv[++i];
+    } else if (a == "--segments") {
+      next_int(o.segments);
+    } else if (a == "--hosts") {
+      next_int(o.hosts);
+    } else if (a == "--pods") {
+      next_int(o.pods);
+    } else if (a == "--no-dual-tor") {
+      o.dual_tor = false;
+    } else if (a == "--no-dual-plane") {
+      o.dual_plane = false;
+    } else if (a == "--rail-only") {
+      o.rail_only = true;
+    } else if (a == "--sport") {
+      int v = 0;
+      next_int(v);
+      o.sport = static_cast<std::uint16_t>(v);
+    } else if (!a.empty() && a[0] != '-') {
+      (positional++ == 0 ? o.src : o.dst) = std::atoi(a.c_str());
+    } else {
+      throw ConfigError{"unknown flag: " + a};
+    }
+  }
+  return o;
+}
+
+topo::Cluster build_cluster(const Options& o) {
+  if (o.arch == "hpn") {
+    auto cfg = topo::HpnConfig::tiny();
+    cfg.segments_per_pod = o.segments;
+    cfg.hosts_per_segment = o.hosts;
+    cfg.pods = o.pods;
+    cfg.dual_tor = o.dual_tor;
+    cfg.dual_plane = o.dual_plane && o.dual_tor;
+    cfg.rail_only_tier2 = o.rail_only;
+    if (o.hosts >= 64) {  // paper-scale knobs
+      cfg.tor_uplinks = 60;
+      cfg.aggs_per_plane = 60;
+      cfg.backup_hosts_per_segment = 8;
+    }
+    return topo::build_hpn(cfg);
+  }
+  if (o.arch == "dcn") {
+    topo::DcnPlusConfig cfg;
+    cfg.segments_per_pod = o.segments;
+    cfg.hosts_per_segment = o.hosts;
+    cfg.pods = o.pods;
+    return topo::build_dcn_plus(cfg);
+  }
+  if (o.arch == "fattree") {
+    return topo::build_fat_tree(topo::FatTreeConfig{.k = std::max(4, o.hosts)});
+  }
+  throw ConfigError{"unknown arch: " + o.arch};
+}
+
+int cmd_build(const Options& o) {
+  const topo::Cluster c = build_cluster(o);
+  int active = 0;
+  for (const auto& h : c.hosts) active += h.backup ? 0 : static_cast<int>(h.gpus.size());
+  std::cout << to_string(c.arch) << ": " << active << " active GPUs, " << c.hosts.size()
+            << " hosts, " << c.tors.size() << " ToRs, " << c.aggs.size() << " Aggs, "
+            << c.cores.size() << " Cores\n"
+            << "graph: " << c.topo.node_count() << " nodes, " << c.topo.link_count()
+            << " unidirectional links\n";
+  const auto violations = topo::validate(c);
+  if (violations.empty()) {
+    std::cout << "wiring: OK (blueprint-conformant)\n";
+    return 0;
+  }
+  std::cout << "wiring: " << violations.size() << " violations\n";
+  for (const auto& v : violations) std::cout << "  " << v << "\n";
+  return 2;
+}
+
+int cmd_trace(const Options& o, bool probe) {
+  const topo::Cluster c = build_cluster(o);
+  routing::Router r{c.topo};
+  if (o.src >= c.gpu_count() || o.dst >= c.gpu_count()) {
+    std::cerr << "rank out of range (cluster has " << c.gpu_count() << " GPUs)\n";
+    return 1;
+  }
+  const auto& src_att = c.nic_of(o.src);
+  const NodeId dst = c.nic_of(o.dst).nic;
+  const routing::FiveTuple ft{.src_ip = src_att.nic.value(),
+                              .dst_ip = dst.value(),
+                              .src_port = o.sport};
+  const routing::Path p = r.trace(src_att.nic, dst, ft);
+  if (!p.valid()) {
+    std::cout << "unroutable (rail-only cross-rail, or failed links)\n";
+    return 2;
+  }
+  std::cout << "rank " << o.src << " -> rank " << o.dst << " (sport " << o.sport << "), "
+            << p.hops() << " hops:\n  " << c.topo.node(src_att.nic).name;
+  for (const LinkId l : p.links) std::cout << " -> " << c.topo.node(c.topo.link(l).dst).name;
+  std::cout << "\n";
+  if (probe) {
+    const auto records = routing::int_probe(c.topo, p);
+    std::cout << "INT records:\n";
+    for (const auto& rec : records) {
+      std::cout << "  " << c.topo.node(rec.switch_id).name << " in-port "
+                << rec.ingress_port << " out-port " << rec.egress_port << " plane "
+                << rec.plane << " rail " << rec.rail << "\n";
+    }
+    if (c.rail_of(o.src) != c.rail_of(o.dst)) {
+      std::cout << "blueprint: skipped (cross-rail pair; rail alignment not expected)\n";
+    } else {
+      const int plane = c.topo.node(c.topo.link(p.links.front()).dst).loc.plane;
+      const auto violations = routing::check_blueprint(c, records, plane, c.rail_of(o.src));
+      std::cout << (violations.empty() ? "blueprint: OK\n" : "blueprint: VIOLATIONS\n");
+      for (const auto& v : violations) std::cout << "  " << v << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_scale() {
+  std::cout << "Table 2 — scale mechanism chain:\n";
+  for (const auto& s : topo::scale_mechanisms()) {
+    std::cout << "  " << s.mechanism << ": tier1 "
+              << (s.tier1_gpus ? std::to_string(s.tier1_gpus) : "-") << ", tier2 "
+              << (s.tier2_gpus ? std::to_string(s.tier2_gpus) : "-") << "\n";
+  }
+  const auto any = topo::any_to_any_pod();
+  const auto rail = topo::rail_only_pod();
+  std::cout << "Table 4 — any-to-any: " << any.gpus_per_pod << " GPUs / "
+            << any.tier2_planes << " planes; rail-only: " << rail.gpus_per_pod
+            << " GPUs / " << rail.tier2_planes << " planes (rail-only comms)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse(argc, argv);
+    if (o.command == "build") return cmd_build(o);
+    if (o.command == "trace") return cmd_trace(o, false);
+    if (o.command == "probe") return cmd_trace(o, true);
+    if (o.command == "scale") return cmd_scale();
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

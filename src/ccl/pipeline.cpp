@@ -1,0 +1,59 @@
+#include "ccl/pipeline.h"
+
+namespace hpn::ccl {
+
+std::shared_ptr<StagePipeline> StagePipeline::create(std::vector<StageFn> stages, int chunks,
+                                                     std::function<void()> all_done) {
+  HPN_CHECK(!stages.empty());
+  HPN_CHECK(chunks >= 1);
+  return std::shared_ptr<StagePipeline>{
+      new StagePipeline{std::move(stages), chunks, std::move(all_done)}};
+}
+
+StagePipeline::StagePipeline(std::vector<StageFn> stages, int chunks,
+                             std::function<void()> all_done)
+    : stages_{std::move(stages)},
+      chunks_{chunks},
+      all_done_{std::move(all_done)},
+      next_chunk_(stages_.size(), 0),
+      busy_(stages_.size(), false),
+      completed_(stages_.size(), -1) {}
+
+void StagePipeline::start() {
+  HPN_CHECK_MSG(!started_, "pipeline started twice");
+  started_ = true;
+  try_advance();
+}
+
+void StagePipeline::try_advance() {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (busy_[s]) continue;
+    const int chunk = next_chunk_[s];
+    if (chunk >= chunks_) continue;
+    // A chunk may enter stage s once it has completed stage s-1.
+    if (s > 0 && completed_[s - 1] < chunk) continue;
+    busy_[s] = true;
+    next_chunk_[s] = chunk + 1;
+    // Keep the pipeline alive while stages are in flight.
+    auto self = shared_from_this();
+    const auto stage_idx = static_cast<int>(s);
+    stages_[s](chunk, [self, stage_idx, chunk] { self->stage_finished(stage_idx, chunk); });
+  }
+}
+
+void StagePipeline::stage_finished(int stage, int chunk) {
+  const auto s = static_cast<std::size_t>(stage);
+  HPN_CHECK(busy_[s]);
+  busy_[s] = false;
+  HPN_CHECK_MSG(chunk == completed_[s] + 1, "stage completed chunks out of order");
+  completed_[s] = chunk;
+  if (s + 1 == stages_.size()) {
+    if (++finished_chunks_ == chunks_) {
+      if (all_done_) all_done_();
+      return;
+    }
+  }
+  try_advance();
+}
+
+}  // namespace hpn::ccl

@@ -1,0 +1,49 @@
+// Invariant checking. HPN_CHECK is always on (these are simulation
+// correctness conditions, not debug asserts); failures throw so tests can
+// observe them and examples fail loudly instead of producing wrong numbers.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpn {
+
+/// Thrown when a simulation invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown for invalid user-supplied configuration.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError{os.str()};
+}
+
+}  // namespace detail
+}  // namespace hpn
+
+#define HPN_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::hpn::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define HPN_CHECK_MSG(expr, msg)                                    \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream hpn_check_os_;                             \
+      hpn_check_os_ << msg;                                         \
+      ::hpn::detail::check_failed(#expr, __FILE__, __LINE__, hpn_check_os_.str()); \
+    }                                                               \
+  } while (false)

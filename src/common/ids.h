@@ -1,0 +1,54 @@
+// Strong-typed integer identifiers. A NodeId can never be passed where a
+// LinkId is expected; both are 32-bit handles into dense arrays.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace hpn {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying v) : v_{v} {}
+
+  static constexpr Id invalid() { return Id{std::numeric_limits<underlying>::max()}; }
+  [[nodiscard]] constexpr bool is_valid() const { return v_ != invalid().v_; }
+  [[nodiscard]] constexpr underlying value() const { return v_; }
+  /// Index into a dense container keyed by this id.
+  [[nodiscard]] constexpr std::size_t index() const { return v_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  underlying v_ = std::numeric_limits<underlying>::max();
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.is_valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+using NodeId = Id<struct NodeIdTag>;    ///< A device: host, NIC, switch, GPU.
+using PortId = Id<struct PortIdTag>;    ///< One port on one node (globally unique).
+using LinkId = Id<struct LinkIdTag>;    ///< A unidirectional link between two ports.
+using FlowId = Id<struct FlowIdTag>;    ///< One simulated flow.
+using JobId = Id<struct JobIdTag>;      ///< One training job.
+using ConnId = Id<struct ConnIdTag>;    ///< One RDMA connection (ccl layer).
+
+}  // namespace hpn
+
+template <typename Tag>
+struct std::hash<hpn::Id<Tag>> {
+  std::size_t operator()(hpn::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

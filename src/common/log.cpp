@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace hpn {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, std::string_view msg) {
+  std::clog << '[' << to_string(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace hpn

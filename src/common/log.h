@@ -1,0 +1,36 @@
+// Minimal leveled logger. Off by default (simulations are hot loops); bench
+// and example binaries raise the level for narrative output.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace hpn {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+std::string_view to_string(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, std::string_view msg);
+}
+
+}  // namespace hpn
+
+#define HPN_LOG(level, stream_expr)                                      \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::hpn::log_level())) { \
+      std::ostringstream hpn_log_os_;                                    \
+      hpn_log_os_ << stream_expr;                                        \
+      ::hpn::detail::emit_log(level, hpn_log_os_.str());                 \
+    }                                                                    \
+  } while (false)
+
+#define HPN_TRACE(stream_expr) HPN_LOG(::hpn::LogLevel::kTrace, stream_expr)
+#define HPN_DEBUG(stream_expr) HPN_LOG(::hpn::LogLevel::kDebug, stream_expr)
+#define HPN_INFO(stream_expr) HPN_LOG(::hpn::LogLevel::kInfo, stream_expr)
+#define HPN_WARN(stream_expr) HPN_LOG(::hpn::LogLevel::kWarn, stream_expr)
+#define HPN_ERROR(stream_expr) HPN_LOG(::hpn::LogLevel::kError, stream_expr)

@@ -1,0 +1,83 @@
+// Deterministic random number generation. Every stochastic component takes
+// an explicit Rng (or a seed) so whole-cluster runs replay bit-identically.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace hpn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Derive an independent child stream (e.g. one per host) so adding a
+  /// consumer does not perturb the draws seen by others.
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    return Rng{engine_() ^ (salt * 0x9E3779B97F4A7C15ULL)};
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument{"Rng::uniform_index: n == 0"};
+    return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  /// Log-normal with the given *linear-scale* median and sigma of ln(x).
+  double lognormal(double median, double sigma) {
+    return std::lognormal_distribution<double>{std::log(median), sigma}(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution{p}(engine_); }
+
+  std::int64_t poisson(double mean) {
+    return std::poisson_distribution<std::int64_t>{mean}(engine_);
+  }
+
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[uniform_index(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[uniform_index(items.size())];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hpn

@@ -1,0 +1,55 @@
+#include "common/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hpn {
+namespace {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+std::string format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+std::string to_string(Duration d) {
+  if (d.is_infinite()) return "inf";
+  const std::int64_t ns = d.as_nanos();
+  const std::int64_t mag = ns < 0 ? -ns : ns;
+  if (mag >= 1'000'000'000) return format("%.3fs", d.as_seconds());
+  if (mag >= 1'000'000) return format("%.3fms", d.as_millis());
+  if (mag >= 1'000) return format("%.3fus", d.as_micros());
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64 "ns", ns);
+  return buf;
+}
+
+std::string to_string(TimePoint t) { return "t=" + to_string(t.since_origin()); }
+
+std::string to_string(DataSize s) {
+  const double bytes = s.as_bytes();
+  const double mag = bytes < 0 ? -bytes : bytes;
+  if (mag >= 1e9) return format("%.3fGB", s.as_gigabytes());
+  if (mag >= 1e6) return format("%.3fMB", s.as_megabytes());
+  if (mag >= 1e3) return format("%.3fKB", s.as_kilobytes());
+  return format("%.0fB", bytes);
+}
+
+std::string to_string(Bandwidth b) {
+  const double g = b.as_gbps();
+  if (g >= 1000.0) return format("%.2fTbps", g / 1000.0);
+  if (g >= 1.0) return format("%.2fGbps", g);
+  return format("%.3fMbps", g * 1000.0);
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << to_string(d); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << to_string(t); }
+std::ostream& operator<<(std::ostream& os, DataSize s) { return os << to_string(s); }
+std::ostream& operator<<(std::ostream& os, Bandwidth b) { return os << to_string(b); }
+
+}  // namespace hpn

@@ -1,0 +1,185 @@
+// Strong-typed simulation units: time, data size, and bandwidth.
+//
+// All simulated time is kept as integer nanoseconds so event ordering is
+// exact and runs are bit-reproducible; data sizes are integer bits (the
+// finest granularity any generator emits); bandwidth is double bits/second
+// because fair-share solvers divide capacities arbitrarily.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace hpn {
+
+/// A span of simulated time. Integer nanoseconds, signed so deltas work.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t ns) { return Duration{ns}; }
+  static constexpr Duration micros(std::int64_t us) { return Duration{us * 1'000}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+  static constexpr Duration hours(double h) { return seconds(h * 3600.0); }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration infinite() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double as_micros() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double as_millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr bool is_infinite() const { return *this == infinite(); }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  [[nodiscard]] constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock (ns since run start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint at_nanos(std::int64_t ns) { return TimePoint{ns}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint far_future() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr Duration since_origin() const { return Duration::nanos(ns_); }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.as_nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.as_nanos()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.as_nanos(); return *this; }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Quantity of data. Integer bits.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  static constexpr DataSize bits(std::int64_t b) { return DataSize{b}; }
+  static constexpr DataSize bytes(std::int64_t b) { return DataSize{b * 8}; }
+  static constexpr DataSize kilobytes(std::int64_t kb) { return bytes(kb * 1'000); }
+  static constexpr DataSize megabytes(std::int64_t mb) { return bytes(mb * 1'000'000); }
+  static constexpr DataSize gigabytes(double gb) {
+    return DataSize{static_cast<std::int64_t>(gb * 8e9)};
+  }
+  static constexpr DataSize kibibytes(std::int64_t k) { return bytes(k * 1024); }
+  static constexpr DataSize mebibytes(std::int64_t m) { return bytes(m * 1024 * 1024); }
+  static constexpr DataSize zero() { return DataSize{0}; }
+
+  [[nodiscard]] constexpr std::int64_t as_bits() const { return bits_; }
+  [[nodiscard]] constexpr double as_bytes() const { return static_cast<double>(bits_) / 8.0; }
+  [[nodiscard]] constexpr double as_kilobytes() const { return as_bytes() / 1e3; }
+  [[nodiscard]] constexpr double as_megabytes() const { return as_bytes() / 1e6; }
+  [[nodiscard]] constexpr double as_gigabytes() const { return as_bytes() / 1e9; }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+  constexpr DataSize operator+(DataSize o) const { return DataSize{bits_ + o.bits_}; }
+  constexpr DataSize operator-(DataSize o) const { return DataSize{bits_ - o.bits_}; }
+  constexpr DataSize& operator+=(DataSize o) { bits_ += o.bits_; return *this; }
+  constexpr DataSize& operator-=(DataSize o) { bits_ -= o.bits_; return *this; }
+  constexpr DataSize operator*(double k) const {
+    return DataSize{static_cast<std::int64_t>(static_cast<double>(bits_) * k)};
+  }
+  constexpr DataSize operator/(double k) const {
+    return DataSize{static_cast<std::int64_t>(static_cast<double>(bits_) / k)};
+  }
+  [[nodiscard]] constexpr double operator/(DataSize o) const {
+    return static_cast<double>(bits_) / static_cast<double>(o.bits_);
+  }
+
+ private:
+  constexpr explicit DataSize(std::int64_t b) : bits_{b} {}
+  std::int64_t bits_ = 0;
+};
+
+/// Transmission rate in bits per second. Double: fair-share solvers divide
+/// link capacity into arbitrary fractions.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  static constexpr Bandwidth bits_per_sec(double bps) { return Bandwidth{bps}; }
+  static constexpr Bandwidth gbps(double g) { return Bandwidth{g * 1e9}; }
+  static constexpr Bandwidth tbps(double t) { return Bandwidth{t * 1e12}; }
+  /// NVLink-style capacities are quoted in bytes/sec (e.g. 400 GBps).
+  static constexpr Bandwidth gigabytes_per_sec(double gB) { return Bandwidth{gB * 8e9}; }
+  static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  [[nodiscard]] constexpr double as_bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double as_gbps() const { return bps_ / 1e9; }
+  [[nodiscard]] constexpr double as_gigabytes_per_sec() const { return bps_ / 8e9; }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  constexpr Bandwidth operator+(Bandwidth o) const { return Bandwidth{bps_ + o.bps_}; }
+  constexpr Bandwidth operator-(Bandwidth o) const { return Bandwidth{bps_ - o.bps_}; }
+  constexpr Bandwidth& operator+=(Bandwidth o) { bps_ += o.bps_; return *this; }
+  constexpr Bandwidth& operator-=(Bandwidth o) { bps_ -= o.bps_; return *this; }
+  constexpr Bandwidth operator*(double k) const { return Bandwidth{bps_ * k}; }
+  constexpr Bandwidth operator/(double k) const { return Bandwidth{bps_ / k}; }
+  [[nodiscard]] constexpr double operator/(Bandwidth o) const { return bps_ / o.bps_; }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_{bps} {}
+  double bps_ = 0.0;
+};
+
+/// Time to serialize `size` at `rate`. Rounds up to the next nanosecond so a
+/// nonzero transfer never completes instantaneously.
+[[nodiscard]] constexpr Duration operator/(DataSize size, Bandwidth rate) {
+  const double secs = static_cast<double>(size.as_bits()) / rate.as_bits_per_sec();
+  return Duration::nanos(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
+}
+
+/// Data moved in `d` at `rate`.
+[[nodiscard]] constexpr DataSize operator*(Bandwidth rate, Duration d) {
+  return DataSize::bits(
+      static_cast<std::int64_t>(rate.as_bits_per_sec() * d.as_seconds()));
+}
+[[nodiscard]] constexpr DataSize operator*(Duration d, Bandwidth rate) { return rate * d; }
+
+/// Average rate needed to move `size` in `d`.
+[[nodiscard]] constexpr Bandwidth operator/(DataSize size, Duration d) {
+  return Bandwidth::bits_per_sec(static_cast<double>(size.as_bits()) / d.as_seconds());
+}
+
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+std::string to_string(DataSize s);
+std::string to_string(Bandwidth b);
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+std::ostream& operator<<(std::ostream& os, DataSize s);
+std::ostream& operator<<(std::ostream& os, Bandwidth b);
+
+}  // namespace hpn

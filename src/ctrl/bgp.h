@@ -1,0 +1,130 @@
+// BGP-lite: a message-passing path-vector control plane over the fabric.
+//
+// §4.2 routes everything — including /32 host routes distilled from ARP —
+// through BGP so that a single mechanism handles failover. This module
+// implements the protocol machinery the FabricController's timing model
+// abstracts: one speaker per switch, adjacencies over fabric/access links,
+// UPDATE/WITHDRAW messages with per-hop processing delay on the event
+// engine, path-vector loop suppression, best-path selection (shortest AS
+// path) with ECMP ties, and route origination by ToRs for attached NICs.
+//
+// Experiments use it to *measure* convergence after link failures instead
+// of assuming a constant, and tests verify classic properties: no loops,
+// withdrawal propagation, equal-cost multipath, and isolation detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/cluster.h"
+
+namespace hpn::ctrl {
+
+/// A prefix is a destination NIC (we only model /32 host routes; the /24
+/// subnet default routes of §4.2 are subsumed by per-NIC state here).
+using Prefix = NodeId;
+
+struct BgpRoute {
+  Prefix prefix;
+  std::vector<NodeId> as_path;  ///< Speakers traversed, nearest first.
+  NodeId next_hop = NodeId::invalid();
+  LinkId via = LinkId::invalid();  ///< Egress link toward next_hop.
+
+  [[nodiscard]] std::size_t length() const { return as_path.size(); }
+};
+
+struct BgpTimings {
+  /// Per-message processing delay at a speaker (advertisement batching,
+  /// RIB update, FIB programming).
+  Duration processing = Duration::millis(15);
+  /// Keepalive-based failure detection on an adjacency.
+  Duration hold_detect = Duration::millis(30);
+};
+
+class BgpFabric {
+ public:
+  /// Builds one speaker per ToR/Agg/Core switch; adjacencies mirror the
+  /// up fabric links. NICs do not speak BGP (§4.2's lesson: keep hosts out
+  /// of the cluster-wide BGP mesh).
+  BgpFabric(const topo::Cluster& cluster, sim::Simulator& simulator, BgpTimings timings = {});
+
+  /// Originate a /32 for every NIC at its attached ToR(s) (the ARP -> host
+  /// route conversion) and run to convergence. Call once at start of day.
+  void originate_all_host_routes();
+
+  /// Selected (best) routes a speaker holds for a prefix; multiple entries
+  /// = ECMP. Empty if the speaker has no route.
+  [[nodiscard]] std::vector<BgpRoute> routes_at(NodeId speaker, Prefix prefix) const;
+
+  /// Does the speaker currently have any route to the prefix?
+  [[nodiscard]] bool reachable(NodeId speaker, Prefix prefix) const {
+    return !routes_at(speaker, prefix).empty();
+  }
+
+  // ---- Event injection (drive via FabricController or directly) ----------
+  /// An access link (NIC <-> ToR) died: the ToR withdraws the /32.
+  void on_access_down(LinkId nic_to_tor);
+  /// The access link recovered: the ToR re-originates.
+  void on_access_up(LinkId nic_to_tor);
+  /// A fabric link died: both ends drop the adjacency and re-advertise.
+  void on_fabric_down(LinkId link);
+  void on_fabric_up(LinkId link);
+
+  // ---- Introspection -------------------------------------------------------
+  /// Simulated time when the last injected event's ripples fully settled
+  /// (no BGP messages in flight). Run the simulator past this to converge.
+  [[nodiscard]] bool quiescent() const { return inflight_messages_ == 0; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Speakers that changed their FIB since the counter was last read.
+  [[nodiscard]] std::uint64_t fib_changes() const { return fib_changes_; }
+
+ private:
+  struct Speaker {
+    NodeId node;
+    /// Adjacent speakers and the links to them.
+    std::vector<std::pair<NodeId, LinkId>> peers;
+    /// Learned routes per prefix, keyed by (neighbor) to keep one route per
+    /// peer (standard BGP Adj-RIB-In collapsed).
+    std::map<Prefix, std::map<NodeId, BgpRoute>> rib_in;
+    /// Prefixes this speaker originates (attached NICs) and the access link.
+    std::map<Prefix, LinkId> originated;
+    /// Current best set per prefix (the Loc-RIB / FIB).
+    std::map<Prefix, std::vector<BgpRoute>> fib;
+  };
+
+  enum class MsgKind { kUpdate, kWithdraw };
+  struct Message {
+    MsgKind kind;
+    NodeId from;
+    NodeId to;
+    BgpRoute route;  ///< For withdraw: prefix + the withdrawing peer matter.
+  };
+
+  [[nodiscard]] bool is_speaker(NodeId n) const;
+  Speaker& speaker(NodeId n) { return speakers_.at(n); }
+  void send(Message msg);
+  void deliver(const Message& msg);
+  /// Recompute best routes for a prefix at a speaker; if the best set
+  /// changed, advertise/withdraw to peers.
+  void reselect_and_propagate(Speaker& sp, Prefix prefix);
+  /// Advertise the speaker's current best (or withdraw) to all peers.
+  void announce(Speaker& sp, Prefix prefix);
+  [[nodiscard]] std::vector<BgpRoute> best_of(const Speaker& sp, Prefix prefix) const;
+
+  const topo::Cluster* cluster_;
+  sim::Simulator* sim_;
+  BgpTimings timings_;
+  std::unordered_map<NodeId, Speaker> speakers_;
+  /// What each speaker last advertised per prefix (to detect changes and
+  /// send withdraws). Empty vector = currently withdrawn/never advertised.
+  std::unordered_map<NodeId, std::map<Prefix, std::size_t>> advertised_len_;
+  int inflight_messages_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t fib_changes_ = 0;
+};
+
+}  // namespace hpn::ctrl

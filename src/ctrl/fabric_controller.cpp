@@ -1,0 +1,197 @@
+#include "ctrl/fabric_controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpn::ctrl {
+
+FabricController::FabricController(topo::Cluster& cluster, sim::Simulator& simulator,
+                                   routing::Router& router, CtrlTimings timings,
+                                   bool arp_proxy)
+    : cluster_{&cluster},
+      sim_{&simulator},
+      router_{&router},
+      timings_{timings},
+      arp_proxy_{arp_proxy} {}
+
+const topo::NicAttachment& FabricController::nic(int host, int rail) const {
+  return cluster_->hosts.at(static_cast<std::size_t>(host))
+      .nics.at(static_cast<std::size_t>(rail));
+}
+
+FabricController::PortState& FabricController::state(PortKey key) {
+  return ports_[key];
+}
+
+const FabricController::PortState* FabricController::find_state(PortKey key) const {
+  const auto it = ports_.find(key);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+bool FabricController::fabric_detour_exists(int host, int rail, int port) const {
+  // After the access link died, can the dead-side ToR still reach the NIC
+  // through the fabric (i.e. does the plane have a detour)? Typical Clos:
+  // ToR1 -> Agg -> ToR2 -> NIC. Dual-plane: planes are disjoint, so no.
+  const auto& att = nic(host, rail);
+  const NodeId dead_tor = att.tor.at(static_cast<std::size_t>(port));
+  return router_->distance(dead_tor, att.nic) >= 0;
+}
+
+void FabricController::do_fail_access(int host, int rail, int port) {
+  const auto& att = nic(host, rail);
+  HPN_CHECK_MSG(port >= 0 && port < att.ports, "no such NIC port");
+  const LinkId access = att.access.at(static_cast<std::size_t>(port));
+  cluster_->topo.set_duplex_up(access, false);
+  router_->invalidate();
+
+  PortState& st = state(PortKey{host, rail, port});
+  st.up = false;
+  const TimePoint now = sim_->now();
+
+  // Ingress convergence: if the plane has an in-fabric detour, the /32
+  // withdrawal reroutes senders; hop count bounds the propagation depth.
+  // Otherwise senders wait for the host-switch collaboration push.
+  TimePoint fabric_at;
+  if (fabric_detour_exists(host, rail, port)) {
+    const Duration bgp = timings_.arp_withdraw + timings_.bgp_hop * 2.0;
+    fabric_at = now + bgp;
+  } else {
+    fabric_at = now + timings_.host_push;
+  }
+  st.rx_fabric_converged_at = fabric_at;
+  // Intra-segment senders: with the ARP proxy everything is L3 and follows
+  // BGP (just the local withdraw, no propagation); without it, the stale
+  // MAC entry blackholes until aging.
+  st.rx_l2_converged_at =
+      arp_proxy_ ? std::min(fabric_at, now + timings_.arp_withdraw) : now + timings_.mac_aging;
+}
+
+void FabricController::notify() {
+  for (const auto& fn : listeners_) fn();
+}
+
+void FabricController::fail_access(int host, int rail, int port) {
+  do_fail_access(host, rail, port);
+  notify();
+}
+
+void FabricController::repair_access(int host, int rail, int port) {
+  const auto& att = nic(host, rail);
+  HPN_CHECK_MSG(port >= 0 && port < att.ports, "no such NIC port");
+  const LinkId access = att.access.at(static_cast<std::size_t>(port));
+  cluster_->topo.set_duplex_up(access, true);
+  router_->invalidate();
+
+  PortState& st = state(PortKey{host, rail, port});
+  st.up = true;
+  // Senders may only rely on the port once LACP re-admits it and the /32 is
+  // re-announced; until then the surviving port keeps carrying traffic, so
+  // there is no loss window on repair.
+  st.tx_usable_at = sim_->now() + timings_.lacp_rejoin;
+  notify();
+}
+
+void FabricController::flap_access(int host, int rail, int port, Duration down_for) {
+  fail_access(host, rail, port);
+  sim_->schedule_after(down_for, [this, host, rail, port] {
+    repair_access(host, rail, port);
+  });
+}
+
+void FabricController::fail_tor(NodeId tor) {
+  // Physical: every link on the ToR drops.
+  for (const LinkId l : cluster_->topo.out_links(tor)) {
+    cluster_->topo.set_duplex_up(l, false);
+  }
+  router_->invalidate();
+  // Mark every NIC port attached to this ToR failed (reusing the access
+  // bookkeeping; topo is already down so do_fail_access only re-sets it).
+  for (const topo::Host& h : cluster_->hosts) {
+    for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+      const topo::NicAttachment& att = h.nics[rail];
+      for (int p = 0; p < att.ports; ++p) {
+        if (att.tor.at(static_cast<std::size_t>(p)) == tor) {
+          do_fail_access(h.index, static_cast<int>(rail), p);
+        }
+      }
+    }
+  }
+  notify();
+}
+
+void FabricController::repair_tor(NodeId tor) {
+  for (const LinkId l : cluster_->topo.out_links(tor)) {
+    cluster_->topo.set_duplex_up(l, true);
+  }
+  router_->invalidate();
+  for (const topo::Host& h : cluster_->hosts) {
+    for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+      const topo::NicAttachment& att = h.nics[rail];
+      for (int p = 0; p < att.ports; ++p) {
+        if (att.tor.at(static_cast<std::size_t>(p)) == tor) {
+          PortState& st = state(PortKey{h.index, static_cast<int>(rail), p});
+          st.up = true;
+          st.tx_usable_at = sim_->now() + timings_.lacp_rejoin;
+        }
+      }
+    }
+  }
+  notify();
+}
+
+bool FabricController::port_up(int host, int rail, int port) const {
+  const PortState* st = find_state(PortKey{host, rail, port});
+  return st == nullptr || st->up;
+}
+
+bool FabricController::tx_usable(int host, int rail, int port) const {
+  const PortState* st = find_state(PortKey{host, rail, port});
+  if (st == nullptr) return true;
+  return st->up && sim_->now() >= st->tx_usable_at;
+}
+
+bool FabricController::rx_blackholed(int host, int rail, int port,
+                                     bool src_same_segment) const {
+  const PortState* st = find_state(PortKey{host, rail, port});
+  if (st == nullptr || st->up) return false;
+  const TimePoint converged =
+      src_same_segment ? st->rx_l2_converged_at : st->rx_fabric_converged_at;
+  return sim_->now() < converged;
+}
+
+double FabricController::host_tx_fraction(int host) const {
+  const topo::Host& h = cluster_->hosts.at(static_cast<std::size_t>(host));
+  int total = 0, usable = 0;
+  for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+    for (int p = 0; p < h.nics[rail].ports; ++p) {
+      ++total;
+      usable += tx_usable(host, static_cast<int>(rail), p);
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(usable) / total;
+}
+
+bool FabricController::host_isolated(int host) const {
+  const topo::Host& h = cluster_->hosts.at(static_cast<std::size_t>(host));
+  for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+    bool any_port = false;
+    for (int p = 0; p < h.nics[rail].ports; ++p) {
+      any_port |= port_up(host, static_cast<int>(rail), p);
+    }
+    if (!any_port) return true;  // this rail's NIC is unreachable
+  }
+  return false;
+}
+
+bool FabricController::host_in_blackhole(int host) const {
+  const topo::Host& h = cluster_->hosts.at(static_cast<std::size_t>(host));
+  for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+    for (int p = 0; p < h.nics[rail].ports; ++p) {
+      if (rx_blackholed(host, static_cast<int>(rail), p)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hpn::ctrl

@@ -1,0 +1,123 @@
+// Fabric failure/recovery orchestration with control-plane timing.
+//
+// Ties together the pieces §4.2 describes: carrier detection and LACP on
+// the host side, ARP-to-host-route conversion and BGP withdrawal on the
+// ToR side, the ARP-proxy decision for intra-segment traffic, and — for
+// dual-plane fabrics where the failed plane has no alternative path to the
+// NIC — the host-switch collaboration push that tells senders to re-steer
+// onto the surviving plane.
+//
+// The controller mutates the Topology (so the Router reroutes) and tracks
+// *when* each party learns about each event, so experiments measure
+// convergence windows rather than assuming them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "routing/router.h"
+#include "sim/simulator.h"
+#include "topo/cluster.h"
+
+namespace hpn::ctrl {
+
+struct CtrlTimings {
+  /// Host bond notices carrier loss and stops transmitting on the port.
+  Duration carrier_detect = Duration::millis(1);
+  /// ToR removes the ARP entry and withdraws the /32 host route.
+  Duration arp_withdraw = Duration::millis(20);
+  /// Per-hop BGP UPDATE processing while the withdrawal propagates.
+  Duration bgp_hop = Duration::millis(15);
+  /// Host-switch collaboration push (§6.1) informing senders of link state
+  /// when in-fabric rerouting is impossible (dual-plane ingress failover).
+  Duration host_push = Duration::millis(100);
+  /// LACP re-negotiation before a repaired port rejoins the bundle.
+  Duration lacp_rejoin = Duration::millis(200);
+  /// L2 MAC-table aging — the intra-segment blackhole when the ARP proxy
+  /// is disabled (§4.2: "de-facto aging time ... is 5 minutes").
+  Duration mac_aging = Duration::minutes(5);
+};
+
+class FabricController {
+ public:
+  /// `arp_proxy`: §4.2's switch-side ARP proxy forcing intra-segment
+  /// traffic to L3 so BGP governs it. Disabling reproduces the L2 blackhole.
+  FabricController(topo::Cluster& cluster, sim::Simulator& simulator,
+                   routing::Router& router, CtrlTimings timings = {}, bool arp_proxy = true);
+
+  // ---- Event injection ----------------------------------------------------
+  void fail_access(int host, int rail, int port);
+  void repair_access(int host, int rail, int port);
+  /// Down for `down_for`, then auto-repair.
+  void flap_access(int host, int rail, int port, Duration down_for);
+  /// Crash a ToR: every access and fabric link on it goes down.
+  void fail_tor(NodeId tor);
+  void repair_tor(NodeId tor);
+
+  // ---- State queries (evaluated at simulator.now()) -----------------------
+  /// Physical link state of the NIC port.
+  [[nodiscard]] bool port_up(int host, int rail, int port) const;
+  /// The host may transmit on this port (carrier up + LACP member).
+  [[nodiscard]] bool tx_usable(int host, int rail, int port) const;
+  /// A *down* port is in its ingress blackhole until remote senders have
+  /// been steered off it. `src_same_segment` selects the L2 (intra-segment)
+  /// vs fabric convergence path.
+  [[nodiscard]] bool rx_blackholed(int host, int rail, int port,
+                                   bool src_same_segment = false) const;
+  /// Fraction of the host's backend ports currently usable for tx
+  /// (15/16 = 93.75% after one access-link failure under dual-ToR).
+  [[nodiscard]] double host_tx_fraction(int host) const;
+  /// True while any of the host's NICs is completely unreachable (all
+  /// ports down, or the only port down under single-ToR) — the condition
+  /// that halts a synchronous training job.
+  [[nodiscard]] bool host_isolated(int host) const;
+  /// True while any port of the host is inside an ingress blackhole window.
+  [[nodiscard]] bool host_in_blackhole(int host) const;
+
+  [[nodiscard]] const CtrlTimings& timings() const { return timings_; }
+
+  /// Register a callback fired after every fabric mutation (failure,
+  /// repair, ToR crash) — traffic layers use it to re-steer in-flight
+  /// flows (Communicator::on_fabric_change / TrainingJob::on_fabric_change).
+  void subscribe(std::function<void()> on_change) {
+    listeners_.push_back(std::move(on_change));
+  }
+
+ private:
+  struct PortKey {
+    int host;
+    int rail;
+    int port;
+    auto operator<=>(const PortKey&) const = default;
+  };
+  struct PortState {
+    bool up = true;
+    TimePoint tx_usable_at = TimePoint::origin();
+    /// Senders outside the segment steered off the dead port (BGP or push).
+    TimePoint rx_fabric_converged_at = TimePoint::origin();
+    /// Intra-segment senders steered off (ARP proxy/BGP vs MAC aging).
+    TimePoint rx_l2_converged_at = TimePoint::origin();
+  };
+
+  [[nodiscard]] const topo::NicAttachment& nic(int host, int rail) const;
+  PortState& state(PortKey key);
+  [[nodiscard]] const PortState* find_state(PortKey key) const;
+  /// Does the failed plane retain an in-fabric detour to the NIC (typical
+  /// Clos: yes via the sibling ToR; dual-plane: no)?
+  [[nodiscard]] bool fabric_detour_exists(int host, int rail, int port) const;
+  void do_fail_access(int host, int rail, int port);
+
+  void notify();
+
+  topo::Cluster* cluster_;
+  sim::Simulator* sim_;
+  routing::Router* router_;
+  CtrlTimings timings_;
+  bool arp_proxy_;
+  std::map<PortKey, PortState> ports_;
+  std::vector<std::function<void()>> listeners_;
+};
+
+}  // namespace hpn::ctrl

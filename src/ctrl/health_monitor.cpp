@@ -1,0 +1,66 @@
+#include "ctrl/health_monitor.h"
+
+#include "common/check.h"
+
+namespace hpn::ctrl {
+
+std::string_view to_string(LinkHealth health) {
+  switch (health) {
+    case LinkHealth::kHealthy: return "healthy";
+    case LinkHealth::kDown: return "down";
+    case LinkHealth::kTxBlackhole: return "tx-blackhole (LFS-bug class)";
+    case LinkHealth::kRxBlackhole: return "rx-blackhole";
+  }
+  return "?";
+}
+
+LinkHealth HealthMonitor::probe(int host, int rail, int port) const {
+  const topo::NicAttachment& att = cluster_->hosts.at(static_cast<std::size_t>(host))
+                                       .nics.at(static_cast<std::size_t>(rail));
+  HPN_CHECK(port >= 0 && port < att.ports);
+  const LinkId tx = att.access.at(static_cast<std::size_t>(port));  // NIC -> ToR
+  const LinkId rx = cluster_->topo.link(tx).reverse;                // ToR -> NIC
+  const bool tx_up = cluster_->topo.is_up(tx);
+  const bool rx_up = cluster_->topo.is_up(rx);
+  if (tx_up && rx_up) return LinkHealth::kHealthy;
+  if (!tx_up && !rx_up) return LinkHealth::kDown;
+  return tx_up ? LinkHealth::kRxBlackhole : LinkHealth::kTxBlackhole;
+}
+
+std::vector<ProbeReport> HealthMonitor::sweep() const {
+  std::vector<ProbeReport> out;
+  for (const topo::Host& h : cluster_->hosts) {
+    for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+      for (int p = 0; p < h.nics[rail].ports; ++p) {
+        const LinkHealth health = probe(h.index, static_cast<int>(rail), p);
+        if (health == LinkHealth::kHealthy) continue;
+        out.push_back({h.index, static_cast<int>(rail), p, health});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ProbeReport> HealthMonitor::asymmetric_links() const {
+  std::vector<ProbeReport> out;
+  for (const ProbeReport& r : sweep()) {
+    if (r.health == LinkHealth::kTxBlackhole || r.health == LinkHealth::kRxBlackhole) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void inject_asymmetric_fault(topo::Cluster& cluster, int host, int rail, int port) {
+  const topo::NicAttachment& att = cluster.hosts.at(static_cast<std::size_t>(host))
+                                       .nics.at(static_cast<std::size_t>(rail));
+  cluster.topo.set_link_up(att.access.at(static_cast<std::size_t>(port)), false);
+}
+
+void repair_asymmetric_fault(topo::Cluster& cluster, int host, int rail, int port) {
+  const topo::NicAttachment& att = cluster.hosts.at(static_cast<std::size_t>(host))
+                                       .nics.at(static_cast<std::size_t>(rail));
+  cluster.topo.set_link_up(att.access.at(static_cast<std::size_t>(port)), true);
+}
+
+}  // namespace hpn::ctrl

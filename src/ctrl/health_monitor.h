@@ -1,0 +1,63 @@
+// Probe-based fabric health monitoring — the §10 "asymmetric link states"
+// lesson.
+//
+// A production incident: the optical signal NIC->ToR degraded while
+// ToR->NIC stayed clean; the ToR signaled Link Fault via LFS but a NIC
+// firmware bug swallowed the notification, so the NIC kept transmitting
+// into a black hole. Symmetric carrier checks can't see this; *directional
+// probes* can: send a probe out each port and expect the echo back. This
+// monitor runs such probes over the simulated fabric and classifies each
+// access link as healthy, down, or — the dangerous case — asymmetric.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/cluster.h"
+
+namespace hpn::ctrl {
+
+enum class LinkHealth : std::uint8_t {
+  kHealthy,
+  kDown,            ///< Both directions dead — LACP/carrier catches this.
+  kTxBlackhole,     ///< NIC->ToR dead, ToR->NIC alive: the LFS-bug case.
+  kRxBlackhole,     ///< ToR->NIC dead, NIC->ToR alive.
+};
+
+std::string_view to_string(LinkHealth health);
+
+struct ProbeReport {
+  int host = -1;
+  int rail = -1;
+  int port = -1;
+  LinkHealth health = LinkHealth::kHealthy;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const topo::Cluster& cluster) : cluster_{&cluster} {}
+
+  /// Directional probe of one access link: checks each direction's `up`
+  /// independently (a real probe is an echo; the simulation can read link
+  /// state directly since the probe semantics are equivalent).
+  [[nodiscard]] LinkHealth probe(int host, int rail, int port) const;
+
+  /// Sweep every access port; returns only anomalies.
+  [[nodiscard]] std::vector<ProbeReport> sweep() const;
+
+  /// The silent-failure detector: links that look "up" to a carrier-level
+  /// check (at least one direction alive) but drop traffic in one
+  /// direction. These are invisible to LACP and produce §10's "substantial
+  /// packet loss" until the probe sweep flags them.
+  [[nodiscard]] std::vector<ProbeReport> asymmetric_links() const;
+
+ private:
+  const topo::Cluster* cluster_;
+};
+
+/// Injects the §10 incident: kill only the NIC->ToR direction of a port.
+/// (The reverse stays up, so LFS-style carrier checks see a live link.)
+void inject_asymmetric_fault(topo::Cluster& cluster, int host, int rail, int port);
+void repair_asymmetric_fault(topo::Cluster& cluster, int host, int rail, int port);
+
+}  // namespace hpn::ctrl

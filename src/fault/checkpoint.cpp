@@ -1,0 +1,31 @@
+#include "fault/checkpoint.h"
+
+#include "common/check.h"
+
+namespace hpn::fault {
+
+double CheckpointModel::overhead_fraction() const {
+  return policy_.write_time / (policy_.interval + policy_.write_time);
+}
+
+CrashCost CheckpointModel::crash_cost(Duration since_last_checkpoint, int gpus) const {
+  HPN_CHECK(gpus > 0);
+  CrashCost cost;
+  cost.rolled_back = since_last_checkpoint;
+  cost.restart = policy_.restart_time;
+  const double lost_hours = (cost.rolled_back + cost.restart).as_seconds() / 3600.0;
+  cost.dollars = lost_hours * gpus * kDollarsPerGpuHour;
+  return cost;
+}
+
+double CheckpointModel::goodput_fraction(double crashes_per_month, int gpus) const {
+  HPN_CHECK(crashes_per_month >= 0.0);
+  const CrashCost per_crash = expected_crash_cost(gpus);
+  const double month_hours = 30.0 * 24.0;
+  const double lost_hours =
+      crashes_per_month * (per_crash.rolled_back + per_crash.restart).as_seconds() / 3600.0;
+  const double crash_loss = std::min(1.0, lost_hours / month_hours);
+  return (1.0 - overhead_fraction()) * (1.0 - crash_loss);
+}
+
+}  // namespace hpn::fault

@@ -1,0 +1,134 @@
+#include "flowsim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpn::flowsim {
+
+FluidSimulator::FluidSimulator(const topo::Topology& topology, sim::Simulator& simulator,
+                               FluidConfig config)
+    : topo_{&topology}, sim_{&simulator}, config_{config} {
+  HPN_CHECK(config_.tick > Duration::zero());
+  HPN_CHECK(config_.ecn_kmax > config_.ecn_kmin);
+}
+
+FluidSimulator::~FluidSimulator() = default;
+
+FlowId FluidSimulator::start_flow(std::vector<LinkId> path, Bandwidth cap, DataSize size,
+                                  CompletionFn on_complete) {
+  HPN_CHECK_MSG(!path.empty(), "fluid flows need a network path");
+  HPN_CHECK(cap > Bandwidth::zero());
+  const FlowId id{next_id_++};
+  ActiveFlow f;
+  f.path = std::move(path);
+  f.cap_bps = cap.as_bits_per_sec();
+  f.rate_bps = f.cap_bps * config_.initial_rate;
+  f.infinite = size.as_bits() == std::numeric_limits<std::int64_t>::max();
+  f.remaining_bits = static_cast<double>(size.as_bits());
+  f.on_complete = std::move(on_complete);
+  for (const LinkId l : f.path) links_.try_emplace(l);
+  flows_.emplace(id, std::move(f));
+  ensure_ticking();
+  return id;
+}
+
+bool FluidSimulator::stop_flow(FlowId id) { return flows_.erase(id) > 0; }
+
+DataSize FluidSimulator::queue_of(LinkId link) const {
+  const auto it = links_.find(link);
+  return it == links_.end() ? DataSize::zero()
+                            : DataSize::bits(static_cast<std::int64_t>(it->second.queue_bits));
+}
+
+Bandwidth FluidSimulator::arrival_rate(LinkId link) const {
+  const auto it = links_.find(link);
+  return it == links_.end() ? Bandwidth::zero()
+                            : Bandwidth::bits_per_sec(it->second.arrival_bps);
+}
+
+Bandwidth FluidSimulator::delivered_rate(LinkId link) const {
+  const auto it = links_.find(link);
+  return it == links_.end() ? Bandwidth::zero()
+                            : Bandwidth::bits_per_sec(it->second.delivered_bps);
+}
+
+Bandwidth FluidSimulator::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? Bandwidth::zero() : Bandwidth::bits_per_sec(it->second.rate_bps);
+}
+
+Bandwidth FluidSimulator::flow_goodput(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? Bandwidth::zero()
+                            : Bandwidth::bits_per_sec(it->second.goodput_bps);
+}
+
+double FluidSimulator::mark_probability(double queue_bits) const {
+  const double kmin = static_cast<double>(config_.ecn_kmin.as_bits());
+  const double kmax = static_cast<double>(config_.ecn_kmax.as_bits());
+  if (queue_bits <= kmin) return 0.0;
+  if (queue_bits >= kmax) return config_.ecn_pmax;
+  return config_.ecn_pmax * (queue_bits - kmin) / (kmax - kmin);
+}
+
+void FluidSimulator::ensure_ticking() {
+  if (timer_) return;
+  timer_ = std::make_unique<sim::PeriodicTimer>(*sim_, config_.tick, [this] {
+    tick();
+    if (!flows_.empty()) return true;
+    // Self-disarm when idle; restart on next flow. Destroying the timer
+    // from inside its own callback is unsafe, so defer.
+    sim_->schedule_now([this] {
+      if (flows_.empty()) timer_.reset();
+    });
+    return false;
+  });
+}
+
+void FluidSimulator::tick() {
+  const double dt = config_.tick.as_seconds();
+
+  // 1. Offered arrivals per link.
+  for (auto& [lid, st] : links_) st.arrival_bps = 0.0;
+  for (const auto& [fid, f] : flows_) {
+    for (const LinkId l : f.path) links_.at(l).arrival_bps += f.rate_bps;
+  }
+
+  // 2. Queues integrate (arrival - capacity).
+  for (auto& [lid, st] : links_) {
+    const double cap = topo_->link(lid).capacity.as_bits_per_sec();
+    st.delivered_bps = std::min(st.arrival_bps + st.queue_bits / dt, cap);
+    st.queue_bits = std::max(0.0, st.queue_bits + (st.arrival_bps - cap) * dt);
+  }
+
+  // 3. Per-flow goodput, data accounting and DCQCN feedback.
+  std::vector<std::pair<FlowId, CompletionFn>> done;
+  for (auto& [fid, f] : flows_) {
+    double scale = 1.0;
+    double p_mark = 0.0;
+    for (const LinkId l : f.path) {
+      const LinkState& st = links_.at(l);
+      const double cap = topo_->link(l).capacity.as_bits_per_sec();
+      if (st.arrival_bps > cap) scale = std::min(scale, cap / st.arrival_bps);
+      p_mark = std::max(p_mark, mark_probability(st.queue_bits));
+    }
+    f.goodput_bps = f.rate_bps * scale;
+    if (!f.infinite) {
+      f.remaining_bits -= f.goodput_bps * dt;
+      if (f.remaining_bits <= 0.0) done.emplace_back(fid, std::move(f.on_complete));
+    }
+    // DCQCN fluid limit: MD on marks, AI toward the cap.
+    f.rate_bps *= 1.0 - config_.md_factor * p_mark;
+    f.rate_bps += config_.additive_increase * f.cap_bps;
+    f.rate_bps = std::clamp(f.rate_bps, config_.min_rate_fraction * f.cap_bps, f.cap_bps);
+  }
+
+  for (auto& [fid, fn] : done) {
+    flows_.erase(fid);
+    if (fn) fn(fid);
+  }
+}
+
+}  // namespace hpn::flowsim

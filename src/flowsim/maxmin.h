@@ -1,0 +1,39 @@
+// Max-min fair bandwidth allocation (progressive water-filling).
+//
+// Given flows with fixed paths and optional per-flow rate caps (the NIC
+// limit), assigns each flow the max-min fair rate subject to every link's
+// capacity. Per-flow caps are handled by treating each cap as a virtual
+// single-flow link. This is the steady-state model behind all throughput
+// benches (Figs 15-17, 19); queue *dynamics* live in fluid.h.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+
+struct FlowDemand {
+  std::vector<LinkId> path;
+  /// Per-flow rate cap (e.g. 200G for one NIC port); infinite by default.
+  double cap_bps = std::numeric_limits<double>::infinity();
+  /// Output: allocated rate.
+  double rate_bps = 0.0;
+};
+
+class MaxMinSolver {
+ public:
+  explicit MaxMinSolver(const topo::Topology& topology) : topo_{&topology} {}
+
+  /// Fills `rate_bps` for every flow. Flows with empty paths get cap_bps
+  /// (purely host-local transfers are only NIC/loopback-limited).
+  void solve(std::vector<FlowDemand>& flows) const;
+
+ private:
+  const topo::Topology* topo_;
+};
+
+}  // namespace hpn::flowsim

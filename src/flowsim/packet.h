@@ -1,0 +1,133 @@
+// Packet-level network simulation with PFC and DCQCN — the finest of the
+// three engines.
+//
+// RoCEv2 deployments like HPN's run *lossless*: Priority Flow Control
+// pauses the upstream port when an egress queue crosses Xoff, and DCQCN
+// (ECN marks -> CNPs -> multiplicative decrease) keeps queues off the PFC
+// cliff. This engine models individual MTU-sized packets through per-port
+// FIFO queues with serialization + propagation delay, probabilistic ECN
+// marking, CNP-driven DCQCN rate control, PFC pause/resume with its
+// head-of-line blocking, and (in lossy mode) tail drops with timeout
+// retransmission.
+//
+// Use it for micro-scenarios (incast, HoL victims, engine cross-
+// validation); the flow-level engines cover cluster scale.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+
+struct PacketSimConfig {
+  DataSize mtu = DataSize::bytes(4'096);
+  /// Per egress-port buffer.
+  DataSize port_buffer = DataSize::kilobytes(512);
+  /// Lossless mode: PFC pause above xoff, resume below xon. When false,
+  /// overflowing packets are tail-dropped and retransmitted on timeout.
+  bool pfc = true;
+  DataSize pfc_xoff = DataSize::kilobytes(256);
+  DataSize pfc_xon = DataSize::kilobytes(128);
+  /// ECN marking ramp.
+  DataSize ecn_kmin = DataSize::kilobytes(40);
+  DataSize ecn_kmax = DataSize::kilobytes(200);
+  double ecn_pmax = 0.2;
+  /// DCQCN: alpha-weighted multiplicative decrease per CNP, additive
+  /// increase while CNP-free.
+  double dcqcn_alpha_g = 0.0625;
+  Duration dcqcn_rate_increase_period = Duration::micros(55);
+  Bandwidth dcqcn_ai = Bandwidth::gbps(5);
+  Duration retransmit_timeout = Duration::millis(1);
+  std::uint64_t seed = 42;
+};
+
+class PacketSimulator {
+ public:
+  using CompletionFn = std::function<void(FlowId)>;
+
+  PacketSimulator(const topo::Topology& topology, sim::Simulator& simulator,
+                  PacketSimConfig config = {});
+
+  FlowId start_flow(std::vector<LinkId> path, DataSize size, Bandwidth line_rate,
+                    CompletionFn on_complete = nullptr);
+
+  // ---- Per-link statistics --------------------------------------------------
+  [[nodiscard]] DataSize queue_of(LinkId link) const;
+  [[nodiscard]] std::uint64_t drops_on(LinkId link) const;
+  [[nodiscard]] std::uint64_t tx_bytes_on(LinkId link) const;
+  [[nodiscard]] Duration paused_time(LinkId link) const;
+  [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_packets_; }
+  [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct Packet {
+    FlowId flow;
+    std::uint32_t seq = 0;
+    std::int32_t bytes = 0;
+    bool ecn_marked = false;
+    std::size_t hop = 0;  ///< Index into the flow's path.
+  };
+
+  struct PortState {
+    std::deque<Packet> queue;
+    std::int64_t queued_bytes = 0;
+    bool transmitting = false;
+    bool paused = false;
+    TimePoint paused_since;
+    Duration total_paused = Duration::zero();
+    std::uint64_t drops = 0;
+    std::uint64_t tx_bytes = 0;
+    /// Upstream egress ports this (downstream) queue has PFC-paused.
+    std::set<LinkId> paused_upstreams;
+  };
+
+  struct SenderFlow {
+    std::vector<LinkId> path;
+    std::int64_t total_bytes = 0;
+    std::int64_t sent_bytes = 0;        ///< Injected (first transmission).
+    std::int64_t delivered_bytes = 0;   ///< Acknowledged at destination.
+    double rate_bps = 0.0;
+    double line_rate_bps = 0.0;
+    double alpha = 1.0;
+    std::uint32_t next_seq = 0;
+    bool injector_armed = false;
+    CompletionFn on_complete;
+  };
+
+  void arm_injector(FlowId id);
+  void inject_next(FlowId id);
+  void enqueue(LinkId link, Packet pkt);
+  void try_transmit(LinkId link);
+  void packet_arrived(LinkId link, Packet pkt);
+  void deliver(Packet pkt);
+  void handle_cnp(FlowId id);
+  void rate_increase_tick(FlowId id);
+  /// PFC: pause the upstream egress port that fed this packet into the
+  /// (now over-Xoff) queue; remembered so the queue can resume *all* of its
+  /// paused feeders once it drains below Xon — resuming only the feeder of
+  /// the departing packet would deadlock asymmetric incasts.
+  void pause_upstream(PortState& down, const Packet& pkt);
+  void resume_all(PortState& down);
+
+  [[nodiscard]] double mark_probability(std::int64_t queue_bytes) const;
+
+  const topo::Topology* topo_;
+  sim::Simulator* sim_;
+  PacketSimConfig config_;
+  std::unordered_map<LinkId, PortState> ports_;
+  std::unordered_map<FlowId, SenderFlow> flows_;
+  FlowId::underlying next_id_ = 1;
+  std::uint64_t ecn_marks_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
+};
+
+}  // namespace hpn::flowsim

@@ -1,0 +1,179 @@
+#include "flowsim/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpn::flowsim {
+
+namespace {
+constexpr double kBitEps = 1.0;  // flows within one bit of done are done
+}
+
+FlowSession::FlowSession(const topo::Topology& topology, sim::Simulator& simulator)
+    : topo_{&topology}, sim_{&simulator}, solver_{topology}, last_settle_{simulator.now()} {}
+
+FlowId FlowSession::start_flow(std::vector<LinkId> path, DataSize size, Bandwidth cap,
+                               CompletionFn on_complete) {
+  HPN_CHECK_MSG(cap > Bandwidth::zero(), "flow needs a positive source cap");
+  settle_to_now();
+  const FlowId id{next_id_++};
+  ActiveFlow f;
+  f.path = std::move(path);
+  f.cap_bps = cap.as_bits_per_sec();
+  f.remaining_bits = static_cast<double>(size.as_bits());
+  f.on_complete = std::move(on_complete);
+  f.started = sim_->now();
+  f.size = size;
+  flows_.emplace(id, std::move(f));
+  schedule_recompute();
+  return id;
+}
+
+void FlowSession::record_trace(FlowId id, const ActiveFlow& flow, bool aborted) {
+  if (!tracing_) return;
+  FlowRecord rec;
+  rec.id = id;
+  rec.started = flow.started;
+  rec.finished = sim_->now();
+  rec.size = flow.size;
+  rec.path = flow.path;
+  rec.aborted = aborted;
+  trace_.push_back(std::move(rec));
+}
+
+void FlowSession::write_trace_csv(std::ostream& os) const {
+  os << "id,start_s,finish_s,fct_s,bytes,hops,aborted\n";
+  for (const FlowRecord& r : trace_) {
+    os << r.id.value() << ',' << r.started.as_seconds() << ',' << r.finished.as_seconds()
+       << ',' << r.fct().as_seconds() << ',' << static_cast<std::int64_t>(r.size.as_bytes())
+       << ',' << r.path.size() << ',' << (r.aborted ? 1 : 0) << "\n";
+  }
+}
+
+bool FlowSession::abort_flow(FlowId id) {
+  settle_to_now();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  record_trace(id, it->second, /*aborted=*/true);
+  flows_.erase(it);
+  schedule_recompute();
+  return true;
+}
+
+bool FlowSession::reroute_flow(FlowId id, std::vector<LinkId> new_path) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  settle_to_now();
+  it->second.path = std::move(new_path);
+  schedule_recompute();
+  return true;
+}
+
+std::optional<Bandwidth> FlowSession::rate_of(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return std::nullopt;
+  return Bandwidth::bits_per_sec(it->second.rate_bps);
+}
+
+std::optional<DataSize> FlowSession::remaining_of(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return std::nullopt;
+  return DataSize::bits(static_cast<std::int64_t>(it->second.remaining_bits));
+}
+
+Bandwidth FlowSession::throughput_on(LinkId link) const {
+  double sum = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) sum += f.rate_bps;
+  }
+  return Bandwidth::bits_per_sec(sum);
+}
+
+void FlowSession::settle_to_now() {
+  const TimePoint now = sim_->now();
+  const double dt = (now - last_settle_).as_seconds();
+  last_settle_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    const double moved = f.rate_bps * dt;
+    f.remaining_bits = std::max(0.0, f.remaining_bits - moved);
+    delivered_ += DataSize::bits(static_cast<std::int64_t>(moved));
+  }
+}
+
+void FlowSession::schedule_recompute() {
+  if (pending_recompute_ != sim::kInvalidEvent) return;  // batch same-instant changes
+  pending_recompute_ = sim_->schedule_now([this] {
+    pending_recompute_ = sim::kInvalidEvent;
+    recompute_and_reschedule();
+  });
+}
+
+void FlowSession::recompute_and_reschedule() {
+  settle_to_now();
+
+  // Fire completions for anything already drained (incl. zero-size flows).
+  std::vector<std::pair<FlowId, CompletionFn>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bits <= kBitEps) {
+      record_trace(it->first, it->second, /*aborted=*/false);
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Allocate rates for the survivors.
+  std::vector<FlowId> order;
+  std::vector<FlowDemand> demands;
+  order.reserve(flows_.size());
+  demands.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    order.push_back(id);
+    FlowDemand d;
+    d.path = f.path;
+    d.cap_bps = f.cap_bps;
+    demands.push_back(std::move(d));
+  }
+  solver_.solve(demands);
+  double min_finish_s = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ActiveFlow& f = flows_.at(order[i]);
+    f.rate_bps = demands[i].rate_bps;
+    // Zero-rate flows are stalled on a down link; they hold position until
+    // reroute_flow/refresh gives them a live path again.
+    if (f.rate_bps > 0.0) {
+      min_finish_s = std::min(min_finish_s, f.remaining_bits / f.rate_bps);
+    }
+  }
+
+  // Exactly one pending completion event at the earliest finish.
+  if (pending_completion_ != sim::kInvalidEvent) {
+    sim_->cancel(pending_completion_);
+    pending_completion_ = sim::kInvalidEvent;
+  }
+  if (std::isfinite(min_finish_s)) {
+    // Round up so the flow has fully drained when the event fires.
+    const Duration d = Duration::nanos(
+        static_cast<std::int64_t>(std::ceil(min_finish_s * 1e9)) + 1);
+    pending_completion_ = sim_->schedule_after(d, [this] {
+      pending_completion_ = sim::kInvalidEvent;
+      on_completion_event();
+    });
+  }
+
+  // Completion callbacks run after rates settle; they may start new flows,
+  // which batches into a fresh recompute at this same instant.
+  for (auto& [id, fn] : done) {
+    if (fn) fn(id);
+  }
+}
+
+void FlowSession::on_completion_event() {
+  recompute_and_reschedule();
+}
+
+}  // namespace hpn::flowsim

@@ -1,0 +1,113 @@
+// Event-driven flow-level network simulation.
+//
+// Flows start, share bandwidth max-min fairly, and complete; rates are
+// recomputed only when the flow set changes, and the next completion is
+// scheduled exactly. This gives precise transfer times for collective
+// rounds (Figs 15-17, 19) without per-packet cost. Multiple starts or
+// completions at one instant are batched into a single recompute.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flowsim/maxmin.h"
+#include "sim/simulator.h"
+
+namespace hpn::flowsim {
+
+/// One completed (or aborted) flow, for offline analysis/replay.
+struct FlowRecord {
+  FlowId id;
+  TimePoint started;
+  TimePoint finished;
+  DataSize size;
+  std::vector<LinkId> path;
+  bool aborted = false;
+
+  [[nodiscard]] Duration fct() const { return finished - started; }
+  [[nodiscard]] Bandwidth average_rate() const { return size / fct(); }
+};
+
+class FlowSession {
+ public:
+  using CompletionFn = std::function<void(FlowId)>;
+
+  FlowSession(const topo::Topology& topology, sim::Simulator& simulator);
+
+  /// Starts a flow of `size` over `path`, source-capped at `cap`.
+  /// `on_complete` fires when the last bit is delivered (it may start new
+  /// flows). Zero-size flows complete at the current instant.
+  FlowId start_flow(std::vector<LinkId> path, DataSize size, Bandwidth cap,
+                    CompletionFn on_complete = nullptr);
+
+  /// Remove a flow before completion (no callback). Returns false if the
+  /// flow already finished.
+  bool abort_flow(FlowId id);
+
+  /// Replace an in-flight flow's path (the §4 port failover: shared QP
+  /// contexts let the NIC move a flow to its other port transparently).
+  /// Returns false if the flow already finished.
+  bool reroute_flow(FlowId id, std::vector<LinkId> new_path);
+
+  /// Re-solve rates — call after link state changed (a flow whose path has
+  /// a down link stalls at rate zero until rerouted or repaired).
+  void refresh() { schedule_recompute(); }
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Currently allocated rate; nullopt if the flow is not active.
+  [[nodiscard]] std::optional<Bandwidth> rate_of(FlowId id) const;
+
+  /// Bits still to deliver; nullopt if not active.
+  [[nodiscard]] std::optional<DataSize> remaining_of(FlowId id) const;
+
+  /// Aggregate currently-allocated rate over a link.
+  [[nodiscard]] Bandwidth throughput_on(LinkId link) const;
+
+  /// Total bytes delivered across completed + in-flight flows.
+  [[nodiscard]] DataSize delivered_total() const { return delivered_; }
+
+  /// Record every flow's start/finish/path for offline analysis. Off by
+  /// default (collectives create millions of flows in long runs).
+  void enable_tracing(bool on) { tracing_ = on; }
+  [[nodiscard]] const std::vector<FlowRecord>& trace() const { return trace_; }
+  /// Write the trace as CSV (id,start_s,finish_s,fct_s,bytes,hops,aborted).
+  void write_trace_csv(std::ostream& os) const;
+
+ private:
+  struct ActiveFlow {
+    std::vector<LinkId> path;
+    double cap_bps = 0.0;
+    double remaining_bits = 0.0;
+    double rate_bps = 0.0;
+    CompletionFn on_complete;
+    TimePoint started;
+    DataSize size;
+  };
+
+  void record_trace(FlowId id, const ActiveFlow& flow, bool aborted);
+
+  /// Charge elapsed time against every flow's remaining bits.
+  void settle_to_now();
+  /// Recompute rates and (re)schedule the next completion event.
+  void schedule_recompute();
+  void recompute_and_reschedule();
+  void on_completion_event();
+
+  const topo::Topology* topo_;
+  sim::Simulator* sim_;
+  MaxMinSolver solver_;
+  std::unordered_map<FlowId, ActiveFlow> flows_;
+  FlowId::underlying next_id_ = 1;
+  TimePoint last_settle_;
+  sim::EventId pending_recompute_ = sim::kInvalidEvent;
+  sim::EventId pending_completion_ = sim::kInvalidEvent;
+  DataSize delivered_ = DataSize::zero();
+  bool tracing_ = false;
+  std::vector<FlowRecord> trace_;
+};
+
+}  // namespace hpn::flowsim

@@ -1,0 +1,17 @@
+#include "metrics/registry.h"
+
+namespace hpn::metrics {
+
+Table Registry::snapshot(const std::string& title) const {
+  Table t{title};
+  t.columns({"metric", "value"});
+  for (const auto& [name, c] : counters_) {
+    t.add_row({name, std::to_string(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.add_row({name, Table::num(g.value(), 4)});
+  }
+  return t;
+}
+
+}  // namespace hpn::metrics

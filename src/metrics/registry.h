@@ -1,0 +1,59 @@
+// Named counters and gauges with snapshot export — the lightweight
+// telemetry registry experiments hang their instrumentation on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace hpn::metrics {
+
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Owns counters/gauges by name; lookups create on first use so call sites
+/// stay one-liners: `registry.counter("flows.completed").increment()`.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  [[nodiscard]] bool has_counter(const std::string& name) const {
+    return counters_.count(name) > 0;
+  }
+  [[nodiscard]] bool has_gauge(const std::string& name) const {
+    return gauges_.count(name) > 0;
+  }
+
+  /// All metrics as a (name, value) table, sorted by name.
+  [[nodiscard]] Table snapshot(const std::string& title = "metrics") const;
+
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+}  // namespace hpn::metrics

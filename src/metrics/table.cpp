@@ -1,0 +1,102 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace hpn::metrics {
+
+Table& Table::columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  HPN_CHECK_MSG(columns_.empty() || cells.size() == columns_.size(),
+                "row width " << cells.size() << " != header width " << columns_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    widths.resize(std::max(widths.size(), row.size()), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(columns_);
+  for (const auto& r : rows_) widen(r);
+
+  auto line = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < widths.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!columns_.empty()) {
+    line(columns_);
+    os << "|";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+    os << '\n';
+  }
+  for (const auto& r : rows_) line(r);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto row_out = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!columns_.empty()) row_out(columns_);
+  for (const auto& r : rows_) row_out(r);
+}
+
+std::string Table::save_csv(const std::string& dir, const std::string& name) const {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream f{path};
+  HPN_CHECK_MSG(f.good(), "cannot open " << path);
+  write_csv(f);
+  return path;
+}
+
+}  // namespace hpn::metrics

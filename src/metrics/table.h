@@ -1,0 +1,36 @@
+// Console table and CSV rendering for bench harness output. Every bench
+// binary prints the same rows/series the paper's table or figure reports.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpn::metrics {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_{std::move(title)} {}
+
+  Table& columns(std::vector<std::string> names);
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Writes `<name>.csv` into `dir` (created if missing). Returns the path.
+  std::string save_csv(const std::string& dir, const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpn::metrics

@@ -1,0 +1,64 @@
+#include "routing/int_probe.h"
+
+namespace hpn::routing {
+
+std::vector<IntHopRecord> int_probe(const topo::Topology& topology, const Path& path) {
+  std::vector<IntHopRecord> records;
+  for (std::size_t i = 0; i + 1 < path.links.size(); ++i) {
+    const topo::Link& in = topology.link(path.links[i]);
+    const topo::Link& out = topology.link(path.links[i + 1]);
+    const topo::Node& sw = topology.node(in.dst);
+    IntHopRecord rec;
+    rec.switch_id = sw.id;
+    rec.ingress_port = in.dst_port;
+    rec.egress_port = out.src_port;
+    rec.kind = sw.kind;
+    rec.plane = sw.loc.plane;
+    rec.rail = sw.loc.rail;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+std::vector<std::string> check_blueprint(const topo::Cluster& cluster,
+                                         const std::vector<IntHopRecord>& records,
+                                         int expected_plane, int expected_rail) {
+  std::vector<std::string> out;
+  for (const IntHopRecord& rec : records) {
+    const std::string name = cluster.topo.node(rec.switch_id).name;
+    if (rec.plane >= 0 && rec.plane != expected_plane) {
+      out.push_back("hop " + name + " in plane " + std::to_string(rec.plane) +
+                    ", blueprint expects plane " + std::to_string(expected_plane));
+    }
+    if (rec.kind == topo::NodeKind::kTor && rec.rail >= 0 && rec.rail != expected_rail) {
+      out.push_back("ToR hop " + name + " serves rail " + std::to_string(rec.rail) +
+                    ", blueprint expects rail " + std::to_string(expected_rail));
+    }
+  }
+  // Tier sequence: ToR (Agg (Core Agg)?)? ToR — i.e. kinds must be a
+  // palindrome of the allowed ladder.
+  const auto kind_rank = [](topo::NodeKind k) {
+    switch (k) {
+      case topo::NodeKind::kTor: return 1;
+      case topo::NodeKind::kAgg: return 2;
+      case topo::NodeKind::kCore: return 3;
+      default: return 0;
+    }
+  };
+  bool descending = false;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const int prev = kind_rank(records[i - 1].kind);
+    const int cur = kind_rank(records[i].kind);
+    if (prev == 0 || cur == 0) {
+      out.push_back("non-switch node in the probed fabric path");
+      continue;
+    }
+    if (cur > prev && descending) {
+      out.push_back("invalid tier sequence: path climbs again after descending");
+    }
+    if (cur < prev) descending = true;
+  }
+  return out;
+}
+
+}  // namespace hpn::routing

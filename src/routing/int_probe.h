@@ -1,0 +1,41 @@
+// INT-based wiring probes (§10).
+//
+// "To eradicate wiring mistakes before end-to-end testing, we employ
+// INT-based probes to check that each hop (switchID and PortID) in paths
+// precisely aligns with HPN's blueprint definition." A probe packet records
+// per-hop telemetry (switch id, ingress port, egress port); comparing those
+// records against the architectural blueprint catches cross-plane and
+// cross-rail miswires that static inventory checks can miss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/router.h"
+#include "topo/cluster.h"
+
+namespace hpn::routing {
+
+struct IntHopRecord {
+  NodeId switch_id;
+  std::uint16_t ingress_port = 0;
+  std::uint16_t egress_port = 0;
+  topo::NodeKind kind{};
+  std::int16_t plane = -1;
+  std::int16_t rail = -1;
+};
+
+/// Run a probe along a traced path, collecting one record per *switch* hop
+/// (endpoints don't add INT metadata).
+std::vector<IntHopRecord> int_probe(const topo::Topology& topology, const Path& path);
+
+/// Blueprint conformance of a probed path on a dual-plane HPN fabric:
+///  * every switch hop sits in the plane of the chosen source port;
+///  * ToR hops serve the rail of the source NIC (rail-optimized tier1);
+///  * the tier sequence is valid (ToR [Agg [Core Agg] ToR]).
+/// Returns human-readable violations; empty = conforming.
+std::vector<std::string> check_blueprint(const topo::Cluster& cluster,
+                                         const std::vector<IntHopRecord>& records,
+                                         int expected_plane, int expected_rail);
+
+}  // namespace hpn::routing

@@ -1,0 +1,73 @@
+#include "routing/load_analyzer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpn::routing {
+
+void LoadAnalyzer::run(const std::vector<FlowSpec>& flows) {
+  loads_.clear();
+  unroutable_ = 0;
+  for (const FlowSpec& f : flows) {
+    const Path p = f.first_hop.is_valid() ? router_->trace_via(f.first_hop, f.dst, f.tuple)
+                                          : router_->trace(f.src, f.dst, f.tuple);
+    if (!p.valid()) {
+      ++unroutable_;
+      continue;
+    }
+    for (const LinkId l : p.links) {
+      LinkLoad& ll = loads_[l];
+      ll.link = l;
+      ll.load += f.weight;
+      ll.flow_count += 1;
+    }
+  }
+}
+
+std::vector<LinkLoad> LoadAnalyzer::loads_on(topo::LinkKind link_kind,
+                                             topo::NodeKind src_kind) const {
+  const topo::Topology& t = router_->topology();
+  std::vector<LinkLoad> out;
+  for (const auto& [lid, ll] : loads_) {
+    const topo::Link& l = t.link(lid);
+    if (l.kind == link_kind && t.node(l.src).kind == src_kind) out.push_back(ll);
+  }
+  return out;
+}
+
+double LoadAnalyzer::imbalance(const std::vector<LinkLoad>& loads,
+                               std::size_t candidate_links) {
+  HPN_CHECK(candidate_links > 0);
+  double total = 0.0, peak = 0.0;
+  for (const LinkLoad& ll : loads) {
+    total += ll.load;
+    peak = std::max(peak, ll.load);
+  }
+  if (total == 0.0) return 1.0;
+  const double mean = total / static_cast<double>(candidate_links);
+  return peak / mean;
+}
+
+double LoadAnalyzer::max_load(const std::vector<LinkLoad>& loads) {
+  double peak = 0.0;
+  for (const LinkLoad& ll : loads) peak = std::max(peak, ll.load);
+  return peak;
+}
+
+double LoadAnalyzer::effective_entropy(const std::vector<LinkLoad>& loads,
+                                       std::size_t candidate_links) {
+  HPN_CHECK(candidate_links > 1);
+  double total = 0.0;
+  for (const LinkLoad& ll : loads) total += ll.load;
+  if (total == 0.0) return 0.0;
+  double h = 0.0;
+  for (const LinkLoad& ll : loads) {
+    if (ll.load <= 0.0) continue;
+    const double p = ll.load / total;
+    h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(candidate_links));
+}
+
+}  // namespace hpn::routing

@@ -1,0 +1,35 @@
+#include "routing/repac.h"
+
+#include <algorithm>
+
+namespace hpn::routing {
+
+std::optional<std::uint16_t> RePaC::steer_onto(LinkId first_hop, NodeId dst, FiveTuple base,
+                                               LinkId target_link, int budget) {
+  for (int i = 0; i < budget; ++i) {
+    ++probes_;
+    const Path p = predict(first_hop, dst, base);
+    if (!p.valid()) return std::nullopt;  // unreachable: no sport will help
+    if (std::find(p.links.begin(), p.links.end(), target_link) != p.links.end()) {
+      return base.src_port;
+    }
+    ++base.src_port;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint16_t> RePaC::steer_away(LinkId first_hop, NodeId dst, FiveTuple base,
+                                               const std::set<LinkId>& avoid, int budget) {
+  for (int i = 0; i < budget; ++i) {
+    ++probes_;
+    const Path p = predict(first_hop, dst, base);
+    if (!p.valid()) return std::nullopt;
+    const bool clean = std::none_of(p.links.begin(), p.links.end(),
+                                    [&](LinkId l) { return avoid.count(l) > 0; });
+    if (clean) return base.src_port;
+    ++base.src_port;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpn::routing

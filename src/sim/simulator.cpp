@@ -1,0 +1,94 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace hpn::sim {
+
+EventId Simulator::schedule_at(TimePoint t, Callback cb) {
+  HPN_CHECK_MSG(t >= now_, "cannot schedule into the past: " << to_string(t)
+                               << " < now " << to_string(now_));
+  HPN_CHECK(cb != nullptr);
+  auto ev = std::make_shared<Event>();
+  ev->at = t;
+  ev->seq = next_seq_++;
+  ev->fn = std::move(cb);
+  const EventId id = ev->seq;
+  queue_.push(ev);
+  live_.emplace(id, std::move(ev));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->cancelled = true;
+  it->second->fn = nullptr;  // release captures promptly
+  live_.erase(it);
+  return true;
+}
+
+void Simulator::drop_cancelled() {
+  while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+}
+
+bool Simulator::step() {
+  drop_cancelled();
+  if (queue_.empty()) return false;
+  auto ev = queue_.top();
+  queue_.pop();
+  live_.erase(ev->seq);
+  HPN_CHECK(ev->at >= now_);
+  now_ = ev->at;
+  ++processed_;
+  ev->fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  HPN_CHECK(t >= now_);
+  for (;;) {
+    drop_cancelled();
+    if (queue_.empty() || queue_.top()->at > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+TimePoint Simulator::next_event_time() const {
+  // The queue head can be a tombstone; scan via a copy-free walk is not
+  // possible on priority_queue, so consult the live map when the head is
+  // cancelled. The head is almost always live in practice.
+  auto& self = const_cast<Simulator&>(*this);
+  self.drop_cancelled();
+  if (queue_.empty()) return TimePoint::far_future();
+  return queue_.top()->at;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& simulator, Duration period,
+                             std::function<bool()> tick, bool immediate)
+    : sim_{simulator}, period_{period}, tick_{std::move(tick)} {
+  HPN_CHECK(period_ > Duration::zero());
+  HPN_CHECK(tick_ != nullptr);
+  arm(immediate ? Duration::zero() : period_);
+}
+
+void PeriodicTimer::arm(Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = kInvalidEvent;
+    if (tick_()) arm(period_);
+  });
+}
+
+void PeriodicTimer::stop() {
+  if (pending_ != kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+}  // namespace hpn::sim

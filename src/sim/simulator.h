@@ -1,0 +1,117 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and an event queue. Events scheduled for
+// the same instant fire in scheduling order (FIFO by sequence number), so a
+// run is fully deterministic for a given seed and schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace hpn::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must not be in the past).
+  EventId schedule_at(TimePoint t, Callback cb);
+
+  /// Schedule `cb` after `d` of simulated time.
+  EventId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Schedule `cb` to run at the current instant, after all callbacks
+  /// already queued for this instant.
+  EventId schedule_now(Callback cb) { return schedule_at(now_, std::move(cb)); }
+
+  /// Cancel a pending event. Returns false if it already fired, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run events with time <= `t`, then set the clock to `t`.
+  void run_until(TimePoint t);
+
+  /// Run for `d` more simulated time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+  /// Time of the next pending event, or TimePoint::far_future() if none.
+  [[nodiscard]] TimePoint next_event_time() const;
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    Callback fn;
+    bool cancelled = false;
+  };
+
+  struct QueueOrder {
+    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
+      if (a->at != b->at) return a->at > b->at;  // min-heap on time
+      return a->seq > b->seq;                    // then FIFO
+    }
+  };
+
+  /// Pops tombstoned events off the queue head.
+  void drop_cancelled();
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, QueueOrder>
+      queue_;
+  std::unordered_map<EventId, std::shared_ptr<Event>> live_;
+};
+
+/// Repeats a callback on a fixed period until stopped or the callback
+/// returns false. RAII: destroying the timer stops it.
+class PeriodicTimer {
+ public:
+  /// `tick` returns true to keep running. First tick fires after `period`
+  /// unless `immediate` is set.
+  PeriodicTimer(Simulator& simulator, Duration period, std::function<bool()> tick,
+                bool immediate = false);
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return pending_ != kInvalidEvent; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<bool()> tick_;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace hpn::sim

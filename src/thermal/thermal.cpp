@@ -1,0 +1,77 @@
+#include "thermal/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpn::thermal {
+
+double chip_power_watts(Bandwidth capacity) {
+  // Anchors (W): 3.2T:90, 6.4T:130, 12.8T:200, 25.6T:350, 51.2T:507.5
+  // (= 350 x 1.45, the paper's +45%). Log-linear interpolation between
+  // anchors; clamped outside.
+  struct Anchor {
+    double tbps;
+    double watts;
+  };
+  static constexpr Anchor anchors[] = {
+      {3.2, 90.0}, {6.4, 130.0}, {12.8, 200.0}, {25.6, 350.0}, {51.2, 507.5}};
+  const double t = capacity.as_gbps() / 1000.0;
+  HPN_CHECK_MSG(t > 0.0, "capacity must be positive");
+  if (t <= anchors[0].tbps) return anchors[0].watts;
+  for (std::size_t i = 1; i < std::size(anchors); ++i) {
+    if (t <= anchors[i].tbps) {
+      const double f = (std::log2(t) - std::log2(anchors[i - 1].tbps)) /
+                       (std::log2(anchors[i].tbps) - std::log2(anchors[i - 1].tbps));
+      return anchors[i - 1].watts + f * (anchors[i].watts - anchors[i - 1].watts);
+    }
+  }
+  return anchors[std::size(anchors) - 1].watts;
+}
+
+CoolingSolution heat_pipe() {
+  return CoolingSolution{.name = "heat-pipe", .theta_ja = 70.0 / 380.0};
+}
+
+CoolingSolution original_vapor_chamber() {
+  return CoolingSolution{.name = "original-VC", .theta_ja = 70.0 / 470.0};
+}
+
+CoolingSolution optimized_vapor_chamber() {
+  CoolingSolution vc = original_vapor_chamber();
+  vc.name = "optimized-VC";
+  vc.theta_ja /= 1.15;  // +15% cooling efficiency (§5.1)
+  return vc;
+}
+
+double steady_junction_temp(double power_w, const CoolingSolution& cooling,
+                            const ChipThermalSpec& spec) {
+  return spec.ambient_c + power_w * cooling.theta_ja;
+}
+
+double allowed_operation_power(const CoolingSolution& cooling, const ChipThermalSpec& spec) {
+  return (spec.tjmax_c - spec.ambient_c) / cooling.theta_ja;
+}
+
+ChipThermalState::ChipThermalState(CoolingSolution cooling, ChipThermalSpec spec)
+    : cooling_{std::move(cooling)}, spec_{spec}, temp_c_{spec.ambient_c} {}
+
+double ChipThermalState::step(double power_w, Duration dt) {
+  HPN_CHECK(dt > Duration::zero());
+  const double effective_power = tripped_ ? 0.0 : power_w;
+  const double target = steady_junction_temp(effective_power, cooling_, spec_);
+  const double alpha = 1.0 - std::exp(-dt.as_seconds() / cooling_.tau.as_seconds());
+  temp_c_ += (target - temp_c_) * alpha;
+  if (!tripped_ && temp_c_ >= spec_.tjmax_c) {
+    tripped_ = true;  // over-temperature protection: all transmission stops
+  }
+  return temp_c_;
+}
+
+bool survives_full_load(const CoolingSolution& cooling, Bandwidth chip,
+                        const ChipThermalSpec& spec) {
+  return chip_power_watts(chip) <= allowed_operation_power(cooling, spec);
+}
+
+}  // namespace hpn::thermal

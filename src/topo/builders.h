@@ -1,0 +1,84 @@
+// Topology builders for every architecture the paper discusses:
+//
+//  * HPN          — §3–§7: rail-optimized tier1 (1 segment = 1024+64 GPUs on
+//                   16 ToRs), dual-plane tier2 (15 segments per Pod), 15:1
+//                   oversubscribed tier3 across Pods.
+//  * HPN ablations— single-plane (typical Clos tier2, Fig 12a/13a/14a),
+//                   single-ToR access (Fig 18 baseline), rail-only tier2
+//                   (Table 4).
+//  * DCN+         — Appendix C: the previous-generation 3-tier Clos with
+//                   dual-ToR, 128-GPU segments, 4 segments per Pod.
+//  * Fat tree     — classic k-ary (Table 1 comparator).
+//
+// All builders take scale knobs so tests can construct tiny instances and
+// benches paper-scale ones; wiring *shape* is identical at every scale.
+#pragma once
+
+#include "topo/cluster.h"
+
+namespace hpn::topo {
+
+/// Physical channel properties shared by all builders.
+struct LinkSpeeds {
+  Bandwidth access = Bandwidth::gbps(200);     ///< NIC port <-> ToR.
+  Bandwidth fabric = Bandwidth::gbps(400);     ///< Switch <-> switch.
+  /// NVLink per direction. The paper quotes "400GBps bidirectional" for the
+  /// H800 eval hosts, i.e. 200 GB/s each way.
+  Bandwidth nvlink = Bandwidth::gigabytes_per_sec(200);
+  Bandwidth pcie = Bandwidth::gbps(512);       ///< GPU <-> NIC, Gen5 x16.
+  Duration nvlink_latency = Duration::nanos(300);
+  Duration pcie_latency = Duration::nanos(500);
+  Duration access_latency = Duration::micros(1);
+  Duration fabric_latency = Duration::micros(1);
+};
+
+struct HpnConfig {
+  int pods = 1;
+  int segments_per_pod = 1;
+  int hosts_per_segment = 128;        ///< Active hosts (1024 GPUs).
+  int backup_hosts_per_segment = 0;   ///< Paper reserves 8 (§5.1).
+  int gpus_per_host = 8;              ///< = number of rails.
+  bool dual_tor = true;               ///< false: single-ToR baseline (§9.3).
+  bool dual_plane = true;             ///< false: typical Clos tier2 (Fig 12a).
+  bool rail_optimized = true;         ///< false: all rails share one ToR set.
+  bool rail_only_tier2 = false;       ///< Table 4 variant.
+  int tor_uplinks = 60;               ///< 400G uplinks per ToR.
+  int aggs_per_plane = 60;            ///< Agg switches per plane per Pod.
+  int agg_core_uplinks = 8;           ///< vs 120 downlinks -> 15:1 (§6.2).
+  int cores_per_plane = 0;            ///< 0 = auto (= agg_core_uplinks).
+  LinkSpeeds speeds;
+
+  /// Full production scale: 15 segments x (128+8) hosts = 15360 active GPUs.
+  static HpnConfig paper_pod();
+  /// A small instance for tests: shape-identical, minutes -> milliseconds.
+  static HpnConfig tiny();
+};
+
+Cluster build_hpn(const HpnConfig& cfg);
+
+struct DcnPlusConfig {
+  int pods = 1;
+  int segments_per_pod = 4;
+  int hosts_per_segment = 16;         ///< 128 GPUs per segment.
+  int gpus_per_host = 8;
+  bool dual_tor = true;
+  int aggs_per_pod = 8;
+  int links_per_tor_agg = 8;          ///< ToR: 8 aggs x 8 links = 64x400G up.
+  int agg_core_uplinks = 64;          ///< Full bisection (1:1).
+  int core_count = 0;                 ///< 0 = auto (16).
+  LinkSpeeds speeds;
+
+  static DcnPlusConfig paper_pod();
+};
+
+Cluster build_dcn_plus(const DcnPlusConfig& cfg);
+
+struct FatTreeConfig {
+  int k = 4;                          ///< Even; hosts = k^3/4.
+  Bandwidth link = Bandwidth::gbps(400);
+  Duration latency = Duration::micros(1);
+};
+
+Cluster build_fat_tree(const FatTreeConfig& cfg);
+
+}  // namespace hpn::topo

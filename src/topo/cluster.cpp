@@ -1,0 +1,43 @@
+#include "topo/cluster.h"
+
+namespace hpn::topo {
+
+std::string_view to_string(Arch arch) {
+  switch (arch) {
+    case Arch::kHpn: return "HPN";
+    case Arch::kHpnSinglePlane: return "HPN-single-plane";
+    case Arch::kHpnRailOnly: return "HPN-rail-only";
+    case Arch::kDcnPlus: return "DCN+";
+    case Arch::kFatTree: return "fat-tree";
+  }
+  return "?";
+}
+
+void Cluster::rebuild_gpu_index() {
+  gpu_index_.clear();
+  for (const Host& h : hosts) {
+    for (std::size_t rail = 0; rail < h.gpus.size(); ++rail) {
+      gpu_index_[h.gpus[rail]] = GpuRef{h.index, static_cast<std::int16_t>(rail)};
+    }
+  }
+}
+
+std::vector<NodeId> Cluster::tors_of_segment(int pod, int segment) const {
+  std::vector<NodeId> out;
+  for (NodeId t : tors) {
+    const auto& loc = topo.node(t).loc;
+    if (loc.pod == pod && loc.segment == segment) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::aggs_of_plane(int pod, int plane) const {
+  std::vector<NodeId> out;
+  for (NodeId a : aggs) {
+    const auto& loc = topo.node(a).loc;
+    if (loc.pod == pod && loc.plane == plane) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace hpn::topo

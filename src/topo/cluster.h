@@ -1,0 +1,103 @@
+// A built training cluster: topology graph plus the structured host/GPU/NIC
+// indexes every higher layer (routing, collectives, training) navigates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace hpn::topo {
+
+enum class Arch : std::uint8_t {
+  kHpn,           ///< 2-tier dual-plane dual-ToR rail-optimized (the paper).
+  kHpnSinglePlane,///< HPN tier1 + *typical Clos* tier2 (Fig 12a ablation).
+  kHpnRailOnly,   ///< Rail-only tier2 variant (Table 4).
+  kDcnPlus,       ///< 3-tier Clos previous generation (Appendix C).
+  kFatTree,       ///< Classic k-ary fat tree (single-NIC hosts).
+};
+
+std::string_view to_string(Arch arch);
+
+/// One backend NIC and its dual-ToR attachment. Port p of the NIC connects
+/// to `tor[p]` over access link `access[p]` (NIC -> ToR direction).
+struct NicAttachment {
+  NodeId nic;
+  std::array<NodeId, 2> tor{NodeId::invalid(), NodeId::invalid()};
+  std::array<LinkId, 2> access{LinkId::invalid(), LinkId::invalid()};
+  /// Number of ports actually wired (1 under single-ToR ablations).
+  int ports = 2;
+};
+
+struct Host {
+  std::int32_t index = -1;    ///< Cluster-wide host index.
+  std::int16_t pod = 0;
+  std::int16_t segment = 0;   ///< Segment within pod.
+  bool backup = false;        ///< Connected to a ToR backup port (§5.1).
+  NodeId nvswitch = NodeId::invalid();
+  std::vector<NodeId> gpus;            ///< rail -> GPU node.
+  std::vector<LinkId> gpu_nvlink;      ///< rail -> GPU->NVSwitch link.
+  std::vector<LinkId> gpu_pcie;        ///< rail -> GPU->NIC link.
+  std::vector<NicAttachment> nics;     ///< rail -> backend NIC.
+  NodeId frontend_nic = NodeId::invalid();  ///< NIC0, if frontend built.
+};
+
+/// A GPU's coordinates within the cluster.
+struct GpuRef {
+  std::int32_t host = -1;
+  std::int16_t rail = -1;
+  [[nodiscard]] bool valid() const { return host >= 0; }
+};
+
+class Cluster {
+ public:
+  Arch arch{};
+  Topology topo;
+  std::vector<Host> hosts;
+  std::vector<NodeId> tors;
+  std::vector<NodeId> aggs;
+  std::vector<NodeId> cores;
+  /// Frontend network switches (§8), populated by attach_frontend().
+  std::vector<NodeId> frontend_tors;
+  std::vector<NodeId> frontend_aggs;
+  int gpus_per_host = 8;
+  int pods = 1;
+  int segments_per_pod = 1;
+
+  /// Global GPU rank <-> coordinates. Ranks enumerate active hosts first,
+  /// rails fastest: rank = host * gpus_per_host + rail.
+  [[nodiscard]] int gpu_count() const {
+    return static_cast<int>(hosts.size()) * gpus_per_host;
+  }
+  [[nodiscard]] NodeId gpu(int rank) const {
+    const auto& h = hosts.at(static_cast<std::size_t>(rank / gpus_per_host));
+    return h.gpus.at(static_cast<std::size_t>(rank % gpus_per_host));
+  }
+  [[nodiscard]] GpuRef locate_gpu(NodeId gpu_node) const {
+    auto it = gpu_index_.find(gpu_node);
+    return it == gpu_index_.end() ? GpuRef{} : it->second;
+  }
+  [[nodiscard]] const Host& host_of(int rank) const {
+    return hosts.at(static_cast<std::size_t>(rank / gpus_per_host));
+  }
+  [[nodiscard]] int rail_of(int rank) const { return rank % gpus_per_host; }
+  [[nodiscard]] const NicAttachment& nic_of(int rank) const {
+    return host_of(rank).nics.at(static_cast<std::size_t>(rail_of(rank)));
+  }
+
+  /// Called by builders after hosts are final.
+  void rebuild_gpu_index();
+
+  /// ToRs of a given (pod, segment); for dual-plane architectures the
+  /// result is ordered rail-major, plane-minor.
+  [[nodiscard]] std::vector<NodeId> tors_of_segment(int pod, int segment) const;
+  [[nodiscard]] std::vector<NodeId> aggs_of_plane(int pod, int plane) const;
+
+ private:
+  std::unordered_map<NodeId, GpuRef> gpu_index_;
+};
+
+}  // namespace hpn::topo

@@ -1,0 +1,63 @@
+// Analytic scale math for Table 2 ("key mechanisms affecting maximal
+// scale"), Table 4 (any-to-any vs rail-only tier2) and the Table 1 path-
+// selection search-space comparison. These are closed-form consequences of
+// port arithmetic; the builders realize the same shapes structurally and
+// tests cross-check the two.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hpn::topo {
+
+struct ChipSpec {
+  Bandwidth capacity = Bandwidth::tbps(51.2);
+  Bandwidth access_port = Bandwidth::gbps(200);  ///< ToR downstream port.
+  Bandwidth fabric_port = Bandwidth::gbps(400);  ///< Uplink / tier2+ port.
+};
+
+/// One row of Table 2: a mechanism and the tier1/tier2 scale it unlocks.
+struct ScaleStep {
+  std::string mechanism;
+  std::int64_t tier1_gpus = 0;  ///< 0 = unchanged by this mechanism.
+  std::int64_t tier2_gpus = 0;
+};
+
+/// Reproduces Table 2's cumulative mechanism chain for a given chip.
+/// With the 51.2T chip: 64 -> 128 (dual-ToR) -> 1024 (rail x8) tier1;
+/// 2K -> 4K -> 8K (dual-plane) -> 15K (15:1 oversub) tier2.
+std::vector<ScaleStep> scale_mechanisms(const ChipSpec& chip = {}, int rails = 8,
+                                        double core_oversubscription = 15.0);
+
+struct PodScale {
+  std::int64_t gpus_per_segment = 0;
+  std::int64_t segments_per_pod = 0;
+  std::int64_t gpus_per_pod = 0;
+  int tier2_planes = 0;
+};
+
+/// Any-to-any tier2 (the deployed HPN): 2 planes, 15360 GPUs (Table 4 col 1).
+PodScale any_to_any_pod(const ChipSpec& chip = {}, int rails = 8);
+
+/// Rail-only tier2 (Table 4 col 2): one tier2 plane per (plane, rail) pair
+/// => 16 planes, 8x the segments, 122880 GPUs, but cross-rail traffic must
+/// relay through hosts.
+PodScale rail_only_pod(const ChipSpec& chip = {}, int rails = 8);
+
+/// One row of Table 1: path-selection search space of an architecture.
+struct PathComplexity {
+  std::string architecture;
+  std::int64_t supported_gpus = 0;
+  int tiers = 0;
+  std::string balancing_layers;
+  std::int64_t search_space = 0;  ///< Candidate combinations to probe.
+};
+
+/// The four Table 1 rows (HPN measured from its config; others from the
+/// paper's published parameters).
+std::vector<PathComplexity> path_complexity_table();
+
+}  // namespace hpn::topo

@@ -1,0 +1,76 @@
+#include "topo/topology.h"
+
+namespace hpn::topo {
+
+std::string_view to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kGpu: return "gpu";
+    case NodeKind::kNvSwitch: return "nvswitch";
+    case NodeKind::kNic: return "nic";
+    case NodeKind::kTor: return "tor";
+    case NodeKind::kAgg: return "agg";
+    case NodeKind::kCore: return "core";
+    case NodeKind::kHostProxy: return "host";
+    case NodeKind::kStorage: return "storage";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(NodeKind kind, std::string name, Location loc) {
+  const NodeId id{static_cast<NodeId::underlying>(nodes_.size())};
+  nodes_.push_back(Node{id, kind, loc, std::move(name)});
+  adjacency_.emplace_back();
+  next_port_.push_back(0);
+  return id;
+}
+
+DuplexLink Topology::add_duplex_link(NodeId a, NodeId b, LinkKind kind, Bandwidth capacity,
+                                     Duration latency) {
+  HPN_CHECK(a.is_valid() && b.is_valid() && a != b);
+  HPN_CHECK(capacity > Bandwidth::zero());
+  const std::uint16_t port_a = next_port_.at(a.index())++;
+  const std::uint16_t port_b = next_port_.at(b.index())++;
+
+  const LinkId fwd{static_cast<LinkId::underlying>(links_.size())};
+  const LinkId bwd{static_cast<LinkId::underlying>(links_.size() + 1)};
+  links_.push_back(Link{fwd, bwd, a, b, kind, capacity, latency, true, port_a, port_b});
+  links_.push_back(Link{bwd, fwd, b, a, kind, capacity, latency, true, port_b, port_a});
+  adjacency_.at(a.index()).push_back(fwd);
+  adjacency_.at(b.index()).push_back(bwd);
+  return DuplexLink{fwd, bwd};
+}
+
+std::vector<LinkId> Topology::up_out_links(NodeId n) const {
+  std::vector<LinkId> out;
+  for (LinkId l : adjacency_.at(n.index()))
+    if (links_[l.index()].up) out.push_back(l);
+  return out;
+}
+
+std::optional<LinkId> Topology::find_link(NodeId a, NodeId b) const {
+  for (LinkId l : adjacency_.at(a.index()))
+    if (links_[l.index()].dst == b) return l;
+  return std::nullopt;
+}
+
+std::vector<LinkId> Topology::find_links(NodeId a, NodeId b) const {
+  std::vector<LinkId> out;
+  for (LinkId l : adjacency_.at(a.index()))
+    if (links_[l.index()].dst == b) out.push_back(l);
+  return out;
+}
+
+void Topology::set_duplex_up(LinkId id, bool link_up) {
+  Link& l = links_.at(id.index());
+  l.up = link_up;
+  links_.at(l.reverse.index()).up = link_up;
+}
+
+std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.kind == kind) out.push_back(n.id);
+  return out;
+}
+
+}  // namespace hpn::topo

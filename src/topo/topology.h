@@ -1,0 +1,131 @@
+// Network topology graph.
+//
+// Nodes are devices (GPUs, NVSwitches, NICs, ToR/Agg/Core switches, storage
+// hosts); links are *unidirectional* capacity/latency edges created in
+// duplex pairs. All HPN wiring facts (dual-ToR, rail-optimized tier1,
+// dual-plane tier2, 15:1 tier3 oversubscription) are expressed purely as
+// graph structure plus per-node location metadata, so routing and both flow
+// simulators stay architecture-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace hpn::topo {
+
+enum class NodeKind : std::uint8_t {
+  kGpu,        ///< One accelerator.
+  kNvSwitch,   ///< Intra-host high-bandwidth switch (NVLink domain).
+  kNic,        ///< Backend or frontend NIC (2x200G dual-port).
+  kTor,        ///< Tier-1 switch.
+  kAgg,        ///< Tier-2 switch.
+  kCore,       ///< Tier-3 switch.
+  kHostProxy,  ///< CPU-side endpoint for frontend/storage traffic.
+  kStorage,    ///< CPFS/OSS storage host.
+};
+
+std::string_view to_string(NodeKind kind);
+
+enum class LinkKind : std::uint8_t {
+  kNvlink,   ///< GPU <-> NVSwitch.
+  kPcie,     ///< GPU <-> NIC.
+  kAccess,   ///< NIC <-> ToR (the single-point-of-failure link of §2.3).
+  kFabric,   ///< Switch <-> switch.
+};
+
+/// Where a node sits in the architecture; -1 = not applicable.
+struct Location {
+  std::int16_t pod = -1;
+  std::int16_t segment = -1;  ///< Segment index within pod.
+  std::int16_t plane = -1;    ///< Dual-plane index (0/1) for ToR/Agg/Core.
+  std::int16_t rail = -1;     ///< Rail index (0..7) for NIC/GPU/ToR set.
+  std::int32_t host = -1;     ///< Host index within cluster.
+  std::int32_t local = -1;    ///< Index among same-kind peers (e.g. Agg #).
+};
+
+struct Node {
+  NodeId id;
+  NodeKind kind{};
+  Location loc;
+  std::string name;
+};
+
+struct Link {
+  LinkId id;
+  LinkId reverse;    ///< The opposite direction of the same cable.
+  NodeId src;
+  NodeId dst;
+  LinkKind kind{};
+  Bandwidth capacity;
+  Duration latency;
+  bool up = true;
+  /// Egress port index on `src` (used by per-port hashing and LACP).
+  std::uint16_t src_port = 0;
+  /// Ingress port index on `dst`.
+  std::uint16_t dst_port = 0;
+};
+
+struct DuplexLink {
+  LinkId forward;   ///< a -> b
+  LinkId backward;  ///< b -> a
+};
+
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, std::string name, Location loc = {});
+
+  /// Adds a full-duplex cable between `a` and `b`; port indexes are
+  /// allocated sequentially per node.
+  DuplexLink add_duplex_link(NodeId a, NodeId b, LinkKind kind, Bandwidth capacity,
+                             Duration latency);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id.index()); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id.index()); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Outgoing links of `n`, including down links (callers filter by `up`).
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId n) const {
+    return adjacency_.at(n.index());
+  }
+  /// Outgoing links that are currently up.
+  [[nodiscard]] std::vector<LinkId> up_out_links(NodeId n) const;
+
+  /// The link a -> b, if any (first match).
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+  /// All links a -> b (parallel links are common switch-to-switch).
+  [[nodiscard]] std::vector<LinkId> find_links(NodeId a, NodeId b) const;
+
+  /// Set one direction's state.
+  void set_link_up(LinkId id, bool link_up) { links_.at(id.index()).up = link_up; }
+  /// Set both directions of a cable.
+  void set_duplex_up(LinkId id, bool link_up);
+  [[nodiscard]] bool is_up(LinkId id) const { return links_.at(id.index()).up; }
+
+  /// All nodes of one kind (ids in creation order).
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  /// Total egress port count currently allocated on a node.
+  [[nodiscard]] std::uint16_t port_count(NodeId n) const {
+    return next_port_.at(n.index());
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  std::vector<std::uint16_t> next_port_;
+};
+
+}  // namespace hpn::topo

@@ -1,0 +1,27 @@
+// Wiring validation — the software analogue of the paper's INT-probe
+// blueprint check (§10: "on-site staff make a lot of wiring mistakes...
+// we employ INT-based probes to check that each hop precisely aligns with
+// HPN's blueprint definition"). Returns human-readable violations; an empty
+// list means the built cluster matches its architecture's blueprint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/cluster.h"
+
+namespace hpn::topo {
+
+struct ValidationOptions {
+  /// Aggregate switching budget per single chip (51.2 Tbps, §5.1).
+  Bandwidth chip_capacity = Bandwidth::tbps(51.2);
+  /// Check every node's total port bandwidth against chip_capacity.
+  bool check_chip_budget = true;
+};
+
+std::vector<std::string> validate(const Cluster& cluster, const ValidationOptions& opts = {});
+
+/// Throws ConfigError listing all violations if validation fails.
+void validate_or_throw(const Cluster& cluster, const ValidationOptions& opts = {});
+
+}  // namespace hpn::topo

@@ -1,0 +1,92 @@
+#include "train/resilient_trainer.h"
+
+namespace hpn::train {
+
+ResilientTrainer::ResilientTrainer(const topo::Cluster& cluster, sim::Simulator& simulator,
+                                   flowsim::FlowSession& session,
+                                   ccl::ConnectionManager& connections,
+                                   routing::Router& router, workload::PlacementPlan plan,
+                                   workload::ModelPreset model,
+                                   fault::CheckpointPolicy checkpoints,
+                                   std::vector<topo::StorageHost> storage,
+                                   TrainOptions options)
+    : cluster_{&cluster},
+      sim_{&simulator},
+      session_{&session},
+      conns_{&connections},
+      router_{&router},
+      plan_{std::move(plan)},
+      model_{model},
+      ckpt_policy_{checkpoints},
+      storage_{std::move(storage)},
+      options_{options} {
+  job_ = std::make_unique<TrainingJob>(*cluster_, *sim_, *session_, *conns_, plan_, model_,
+                                       options_);
+  last_checkpoint_ = sim_->now();
+}
+
+Duration ResilientTrainer::write_checkpoint() {
+  const TimePoint start = sim_->now();
+  if (storage_.empty()) {
+    // No storage cluster modeled: charge the policy's nominal write time.
+    sim_->run_for(ckpt_policy_.write_time);
+  } else {
+    workload::StorageTraffic st{*cluster_, *sim_, *session_, *router_};
+    const DataSize per_host =
+        ckpt_policy_.per_gpu * static_cast<double>(cluster_->gpus_per_host);
+    st.run_checkpoint_write(plan_.hosts, storage_, per_host);
+  }
+  last_checkpoint_ = sim_->now();
+  iterations_since_checkpoint_ = 0;
+  progress_since_checkpoint_ = Duration::zero();
+  return sim_->now() - start;
+}
+
+void ResilientTrainer::restart(ResilientReport& report) {
+  ++report.crashes;
+  report.iterations_lost += iterations_since_checkpoint_;
+  // Rollback: everything since the last checkpoint is lost.
+  const Duration lost = sim_->now() - last_checkpoint_;
+  report.rolled_back += lost;
+  // Downtime: reload + re-init before the first new iteration.
+  sim_->run_for(ckpt_policy_.restart_time);
+  report.restart_downtime += ckpt_policy_.restart_time;
+  // Fresh job (new communicators, fresh QPs) over the current fabric.
+  job_ = std::make_unique<TrainingJob>(*cluster_, *sim_, *session_, *conns_, plan_, model_,
+                                       options_);
+  iterations_since_checkpoint_ = 0;
+  progress_since_checkpoint_ = Duration::zero();
+  last_checkpoint_ = sim_->now();  // restart resumes *from* the checkpoint
+}
+
+ResilientReport ResilientTrainer::run_for(Duration wall_budget) {
+  ResilientReport report;
+  const TimePoint start = sim_->now();
+  const TimePoint deadline = start + wall_budget;
+
+  while (sim_->now() < deadline) {
+    // Checkpoint when due.
+    if (sim_->now() - last_checkpoint_ >= ckpt_policy_.interval) {
+      const Duration cost = write_checkpoint();
+      report.checkpoint_overhead += cost;
+      ++report.checkpoints;
+      continue;
+    }
+    const TimePoint before = sim_->now();
+    if (job_->run_iterations(1) == 1) {
+      ++iterations_since_checkpoint_;
+      report.iterations_kept += 1;
+      report.useful_progress += sim_->now() - before;
+      progress_since_checkpoint_ += sim_->now() - before;
+    } else {
+      // Crash: everything since the last checkpoint is retracted.
+      report.iterations_kept -= iterations_since_checkpoint_;
+      report.useful_progress -= progress_since_checkpoint_;
+      restart(report);
+    }
+  }
+  report.wall_time = sim_->now() - start;
+  return report;
+}
+
+}  // namespace hpn::train

@@ -1,0 +1,81 @@
+// End-to-end LLM training iteration model (§9.1, §9.3).
+//
+// An iteration is compute plus the three communication flavors of Table 3,
+// all simulated through the fabric: TP AllReduce inside each host (NVLink),
+// PP activations between consecutive stages (point-to-point), and the DP
+// gradient Multi-AllReduce per pipeline stage (per-rail rings — the bursty
+// 400G traffic of Fig 2). A configurable fraction of DP communication
+// overlaps with the backward pass, as Megatron does.
+//
+// Failures: messages to an isolated host retry forever, so the synchronous
+// iteration stalls — if a stall exceeds the collective-communication
+// timeout the job crashes and must restart from its last checkpoint (§2.3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "ctrl/fabric_controller.h"
+#include "metrics/timeseries.h"
+#include "workload/parallelism.h"
+
+namespace hpn::train {
+
+struct TrainOptions {
+  /// Fraction of DP gradient sync hidden under backward compute.
+  double dp_overlap = 0.5;
+  /// Collective timeout: a stalled iteration beyond this crashes the job.
+  Duration comm_timeout = Duration::minutes(2);
+  ccl::CclConfig ccl;
+};
+
+enum class JobState { kRunning, kCrashed };
+
+class TrainingJob {
+ public:
+  TrainingJob(const topo::Cluster& cluster, sim::Simulator& simulator,
+              flowsim::FlowSession& session, ccl::ConnectionManager& connections,
+              workload::PlacementPlan plan, workload::ModelPreset model,
+              TrainOptions options = {});
+  ~TrainingJob();
+  TrainingJob(const TrainingJob&) = delete;
+  TrainingJob& operator=(const TrainingJob&) = delete;
+
+  /// Run `n` iterations (blocking: drives the simulator). Stops early on
+  /// crash. Returns the number of completed iterations.
+  int run_iterations(int n);
+
+  /// Samples/s, one point per completed iteration (timestamped at its end).
+  [[nodiscard]] const metrics::TimeSeries& throughput() const { return throughput_; }
+  /// Mean samples/s over the last `k` iterations.
+  [[nodiscard]] double steady_samples_per_sec(int k = 5) const;
+  [[nodiscard]] JobState state() const { return state_; }
+  [[nodiscard]] const workload::PlacementPlan& plan() const { return plan_; }
+
+  /// Forward fabric changes to in-flight traffic (port failover).
+  void on_fabric_change();
+
+ private:
+  /// Runs one iteration; returns its wall time or nullopt on crash.
+  std::optional<Duration> run_one_iteration();
+
+  const topo::Cluster* cluster_;
+  sim::Simulator* sim_;
+  flowsim::FlowSession* session_;
+  workload::PlacementPlan plan_;
+  workload::ModelPreset model_;
+  TrainOptions options_;
+  /// One single-host communicator per host (TP), one per stage (DP).
+  std::vector<std::unique_ptr<ccl::Communicator>> tp_comms_;
+  std::vector<std::unique_ptr<ccl::Communicator>> dp_comms_;
+  std::unique_ptr<ccl::Communicator> pp_comm_;  ///< Whole-job, for send/recv.
+  metrics::TimeSeries throughput_{"samples_per_sec"};
+  JobState state_ = JobState::kRunning;
+  /// Disarms the phase-2 continuation if the job is destroyed mid-iteration
+  /// (crash + restart replaces the job while events are pending).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace hpn::train

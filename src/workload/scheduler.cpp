@@ -1,0 +1,97 @@
+#include "workload/scheduler.h"
+
+#include <algorithm>
+
+namespace hpn::workload {
+
+ClusterScheduler::ClusterScheduler(const topo::Cluster& cluster) : cluster_{&cluster} {
+  std::map<std::pair<int, int>, Segment> by_key;
+  for (const topo::Host& h : cluster.hosts) {
+    if (h.backup) continue;  // backups are hot spares, not schedulable (§5.1)
+    Segment& s = by_key[{h.pod, h.segment}];
+    s.pod = h.pod;
+    s.segment = h.segment;
+    s.free.push_back(h.index);
+  }
+  for (auto& [key, seg] : by_key) segments_.push_back(std::move(seg));
+}
+
+std::optional<JobPlacement> ClusterScheduler::allocate(int gpus) {
+  HPN_CHECK(gpus > 0);
+  const int per_host = cluster_->gpus_per_host;
+  const int hosts_needed = (gpus + per_host - 1) / per_host;
+
+  JobPlacement placement;
+  placement.id = JobId{next_id_++};
+
+  // Pass 1: the emptiest single segment that still fits the whole job —
+  // best-fit keeps large contiguous holes for future big jobs.
+  Segment* best = nullptr;
+  for (Segment& s : segments_) {
+    if (static_cast<int>(s.free.size()) < hosts_needed) continue;
+    if (best == nullptr || s.free.size() < best->free.size()) best = &s;
+  }
+  if (best != nullptr) {
+    placement.hosts.assign(best->free.begin(), best->free.begin() + hosts_needed);
+    best->free.erase(best->free.begin(), best->free.begin() + hosts_needed);
+    placement.segments_spanned = 1;
+    placements_[placement.id] = placement;
+    return placement;
+  }
+
+  // Pass 2: spill across segments, fullest-first to minimize the span.
+  std::vector<Segment*> order;
+  for (Segment& s : segments_) {
+    if (!s.free.empty()) order.push_back(&s);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Segment* a, const Segment* b) { return a->free.size() > b->free.size(); });
+  int remaining = hosts_needed;
+  std::vector<std::pair<Segment*, int>> takes;
+  for (Segment* s : order) {
+    if (remaining == 0) break;
+    const int take = std::min<int>(remaining, static_cast<int>(s->free.size()));
+    takes.emplace_back(s, take);
+    remaining -= take;
+  }
+  if (remaining > 0) return std::nullopt;  // cluster full
+
+  for (auto& [s, take] : takes) {
+    placement.hosts.insert(placement.hosts.end(), s->free.begin(), s->free.begin() + take);
+    s->free.erase(s->free.begin(), s->free.begin() + take);
+  }
+  std::sort(placement.hosts.begin(), placement.hosts.end());
+  placement.segments_spanned = static_cast<int>(takes.size());
+  placements_[placement.id] = placement;
+  return placement;
+}
+
+void ClusterScheduler::release(JobId id) {
+  const auto it = placements_.find(id);
+  HPN_CHECK_MSG(it != placements_.end(), "unknown job");
+  for (const int h : it->second.hosts) {
+    const topo::Host& host = cluster_->hosts.at(static_cast<std::size_t>(h));
+    for (Segment& s : segments_) {
+      if (s.pod == host.pod && s.segment == host.segment) {
+        s.free.insert(std::lower_bound(s.free.begin(), s.free.end(), h), h);
+        break;
+      }
+    }
+  }
+  placements_.erase(it);
+}
+
+int ClusterScheduler::free_hosts() const {
+  int total = 0;
+  for (const Segment& s : segments_) total += static_cast<int>(s.free.size());
+  return total;
+}
+
+int ClusterScheduler::free_hosts_in_segment(int pod, int segment) const {
+  for (const Segment& s : segments_) {
+    if (s.pod == pod && s.segment == segment) return static_cast<int>(s.free.size());
+  }
+  return 0;
+}
+
+}  // namespace hpn::workload

@@ -1,0 +1,60 @@
+// Segment-aware job scheduler (§3, Fig 6).
+//
+// HPN's tier1 segment holds 1,024 GPUs precisely so that "96.3% of
+// in-production LLM training jobs ... can be put in one segment, achieving
+// the utmost network performance". This scheduler allocates whole hosts to
+// jobs with segment affinity: fit the job inside one segment if possible,
+// else pack it into the fewest adjacent segments. Comparing placements on
+// HPN (1K-GPU segments) vs DCN+ (128-GPU segments) turns the Fig 6 CDF
+// into the paper's locality claim.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "topo/cluster.h"
+
+namespace hpn::workload {
+
+struct JobPlacement {
+  JobId id = JobId::invalid();
+  std::vector<int> hosts;
+  int segments_spanned = 0;
+
+  [[nodiscard]] int gpus(int gpus_per_host) const {
+    return static_cast<int>(hosts.size()) * gpus_per_host;
+  }
+};
+
+class ClusterScheduler {
+ public:
+  explicit ClusterScheduler(const topo::Cluster& cluster);
+
+  /// Allocate `gpus` (whole hosts). Returns nullopt when the cluster cannot
+  /// fit the job. Placement policy: single segment first (best network),
+  /// then the minimal set of segments with the most free capacity.
+  std::optional<JobPlacement> allocate(int gpus);
+
+  /// Return a job's hosts to the free pool.
+  void release(JobId id);
+
+  [[nodiscard]] int free_hosts() const;
+  [[nodiscard]] int free_hosts_in_segment(int pod, int segment) const;
+  [[nodiscard]] std::size_t running_jobs() const { return placements_.size(); }
+
+ private:
+  struct Segment {
+    int pod = 0;
+    int segment = 0;
+    std::vector<int> free;  ///< Free host indexes, ascending.
+  };
+
+  const topo::Cluster* cluster_;
+  std::vector<Segment> segments_;
+  std::map<JobId, JobPlacement> placements_;
+  JobId::underlying next_id_ = 1;
+};
+
+}  // namespace hpn::workload

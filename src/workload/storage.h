@@ -1,0 +1,62 @@
+// Storage traffic over the simulated fabric (§8, §10).
+//
+// Checkpoint saves are the bandwidth-heavy storage operation: every compute
+// host flushes ~30GB x 8 GPUs to the CPFS/OSS cluster. Dataset/image loads
+// are reads in the opposite direction. Traffic can ride the frontend
+// network (the deployed design) or the backend (the §10-rejected
+// alternative), which is exactly what the storage-placement ablation
+// compares.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "flowsim/session.h"
+#include "routing/router.h"
+#include "topo/frontend.h"
+
+namespace hpn::workload {
+
+class StorageTraffic {
+ public:
+  using DoneFn = std::function<void()>;
+
+  StorageTraffic(const topo::Cluster& cluster, sim::Simulator& simulator,
+                 flowsim::FlowSession& session, routing::Router& router)
+      : cluster_{&cluster}, sim_{&simulator}, session_{&session}, router_{&router} {}
+
+  /// Write `per_host` of checkpoint data from each listed host to the
+  /// storage cluster (striped across storage hosts). Frontend-attached
+  /// storage is reached via the host's NIC0; backend-attached storage via
+  /// the host's rail NICs (sharing the training fabric).
+  void checkpoint_write(const std::vector<int>& hosts,
+                        const std::vector<topo::StorageHost>& storage, DataSize per_host,
+                        DoneFn done);
+
+  /// Dataset/image load: storage -> hosts.
+  void dataset_load(const std::vector<int>& hosts,
+                    const std::vector<topo::StorageHost>& storage, DataSize per_host,
+                    DoneFn done);
+
+  /// Blocking helper; returns elapsed simulated time.
+  Duration run_checkpoint_write(const std::vector<int>& hosts,
+                                const std::vector<topo::StorageHost>& storage,
+                                DataSize per_host);
+
+  [[nodiscard]] int unroutable() const { return unroutable_; }
+
+ private:
+  void transfer(const std::vector<int>& hosts, const std::vector<topo::StorageHost>& storage,
+                DataSize per_host, bool to_storage, DoneFn done);
+  /// Endpoints a host uses toward storage living on `backend`.
+  [[nodiscard]] std::vector<NodeId> host_endpoints(const topo::Host& host,
+                                                   bool backend_storage) const;
+
+  const topo::Cluster* cluster_;
+  sim::Simulator* sim_;
+  flowsim::FlowSession* session_;
+  routing::Router* router_;
+  int unroutable_ = 0;
+};
+
+}  // namespace hpn::workload

@@ -1,0 +1,44 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace hpn {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.is_valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  NodeId id{42};
+  EXPECT_TRUE(id.is_valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, StrongTyping) {
+  static_assert(!std::is_convertible_v<NodeId, LinkId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+}
+
+TEST(Ids, Comparable) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+  EXPECT_NE(NodeId{7}, NodeId{8});
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<FlowId> set;
+  set.insert(FlowId{1});
+  set.insert(FlowId{2});
+  set.insert(FlowId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hpn

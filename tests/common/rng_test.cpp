@@ -1,0 +1,82 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace hpn {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent{7};
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += c1.next_u64() == c2.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng r{99};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_index(17), 17u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng r{1};
+  EXPECT_THROW(r.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r{5};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{42};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r{42};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng r{11};
+  const std::vector<int> items{1, 2, 3};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 300; ++i) ++counts[static_cast<std::size_t>(r.pick(items))];
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+  EXPECT_GT(counts[3], 0);
+}
+
+}  // namespace
+}  // namespace hpn

@@ -1,0 +1,94 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hpn {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::nanos(5).as_nanos(), 5);
+  EXPECT_EQ(Duration::micros(3).as_nanos(), 3'000);
+  EXPECT_EQ(Duration::millis(2).as_nanos(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1.5).as_nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::minutes(2).as_nanos(), 120'000'000'000LL);
+  EXPECT_EQ(Duration::hours(1).as_nanos(), 3'600'000'000'000LL);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::millis(10);
+  const auto b = Duration::millis(4);
+  EXPECT_EQ((a + b).as_nanos(), Duration::millis(14).as_nanos());
+  EXPECT_EQ((a - b).as_nanos(), Duration::millis(6).as_nanos());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((a * 2.0).as_nanos(), Duration::millis(20).as_nanos());
+  EXPECT_EQ((a / 2.0).as_nanos(), Duration::millis(5).as_nanos());
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::micros(999), Duration::millis(1));
+  EXPECT_GT(Duration::infinite(), Duration::hours(1e6));
+  EXPECT_TRUE(Duration::infinite().is_infinite());
+  EXPECT_FALSE(Duration::seconds(1).is_infinite());
+}
+
+TEST(TimePoint, Arithmetic) {
+  const auto t0 = TimePoint::origin();
+  const auto t1 = t0 + Duration::seconds(2);
+  EXPECT_EQ((t1 - t0).as_seconds(), 2.0);
+  EXPECT_EQ((t1 - Duration::seconds(1)).as_seconds(), 1.0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(DataSize, Conversions) {
+  EXPECT_EQ(DataSize::bytes(1).as_bits(), 8);
+  EXPECT_DOUBLE_EQ(DataSize::megabytes(6).as_bytes(), 6e6);
+  EXPECT_DOUBLE_EQ(DataSize::gigabytes(5.5).as_gigabytes(), 5.5);
+  EXPECT_EQ(DataSize::kibibytes(1).as_bits(), 8192);
+  EXPECT_EQ(DataSize::mebibytes(1).as_bits(), 8LL * 1024 * 1024);
+}
+
+TEST(DataSize, Arithmetic) {
+  const auto a = DataSize::megabytes(10);
+  const auto b = DataSize::megabytes(4);
+  EXPECT_DOUBLE_EQ((a + b).as_megabytes(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).as_megabytes(), 6.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_DOUBLE_EQ((a * 0.5).as_megabytes(), 5.0);
+}
+
+TEST(Bandwidth, Conversions) {
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(400).as_bits_per_sec(), 400e9);
+  EXPECT_DOUBLE_EQ(Bandwidth::tbps(51.2).as_gbps(), 51'200.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::gigabytes_per_sec(200).as_gbps(), 1600.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(8).as_gigabytes_per_sec(), 1.0);
+}
+
+TEST(Units, CrossArithmetic) {
+  // 400Gb at 400Gbps = 1 second.
+  const auto t = DataSize::gigabytes(50) / Bandwidth::gbps(400);
+  EXPECT_NEAR(t.as_seconds(), 1.0, 1e-9);
+  // 200Gbps for 2s = 50 GB.
+  const auto s = Bandwidth::gbps(200) * Duration::seconds(2.0);
+  EXPECT_NEAR(s.as_gigabytes(), 50.0, 1e-9);
+  // Average rate.
+  const auto r = DataSize::gigabytes(1.0) / Duration::seconds(0.02);
+  EXPECT_NEAR(r.as_gbps(), 400.0, 1e-9);
+}
+
+TEST(Units, TransferTimeRoundsUpToNanosecond) {
+  // One bit over 400 Gbps is 2.5 ps; must round up to 1 ns, never 0.
+  const auto t = DataSize::bits(1) / Bandwidth::gbps(400);
+  EXPECT_EQ(t.as_nanos(), 1);
+}
+
+TEST(Units, ToStringsHumanReadable) {
+  EXPECT_EQ(to_string(Duration::millis(1500)), "1.500s");
+  EXPECT_EQ(to_string(Duration::nanos(12)), "12ns");
+  EXPECT_EQ(to_string(Duration::infinite()), "inf");
+  EXPECT_EQ(to_string(DataSize::megabytes(560)), "560.000MB");
+  EXPECT_EQ(to_string(Bandwidth::gbps(400)), "400.00Gbps");
+  EXPECT_EQ(to_string(Bandwidth::tbps(51.2)), "51.20Tbps");
+}
+
+}  // namespace
+}  // namespace hpn

@@ -1,0 +1,59 @@
+#include "fault/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace hpn::fault {
+namespace {
+
+TEST(Checkpoint, OverheadNearFivePercent) {
+  // §2.3: even at 2-4h intervals the checkpoint overhead is "still around
+  // 5%" counting the full pipeline stalls; our pure-write model lands at a
+  // small single-digit fraction.
+  CheckpointModel model;
+  EXPECT_GT(model.overhead_fraction(), 0.0);
+  EXPECT_LT(model.overhead_fraction(), 0.05);
+}
+
+TEST(Checkpoint, ShorterIntervalMoreOverhead) {
+  CheckpointPolicy frequent;
+  frequent.interval = Duration::minutes(30.0);
+  CheckpointPolicy sparse;
+  sparse.interval = Duration::hours(4.0);
+  EXPECT_GT(CheckpointModel{frequent}.overhead_fraction(),
+            CheckpointModel{sparse}.overhead_fraction());
+}
+
+TEST(Checkpoint, CrashCostMatchesPaperArithmetic) {
+  // §2.3: "training costs are 20K dollars per hour for a training task
+  // utilizing 3K GPUs, a failure could lead to a financial loss of 30K
+  // dollars" — i.e. ~1.5h of lost progress (half of a ~3h interval).
+  CheckpointModel model;
+  const CrashCost cost = model.expected_crash_cost(3'000);
+  EXPECT_NEAR(cost.rolled_back.as_seconds(), 1.5 * 3600.0, 1.0);
+  EXPECT_NEAR(cost.dollars, 30'000.0, 6'000.0);
+}
+
+TEST(Checkpoint, CostScalesWithGpus) {
+  CheckpointModel model;
+  EXPECT_NEAR(model.expected_crash_cost(6'000).dollars,
+              2.0 * model.expected_crash_cost(3'000).dollars, 1.0);
+}
+
+TEST(Checkpoint, GoodputDropsWithCrashRate) {
+  CheckpointModel model;
+  const double clean = model.goodput_fraction(0.0, 3'000);
+  const double crashy = model.goodput_fraction(2.0, 3'000);  // §2.3: 1-2/month
+  EXPECT_GT(clean, crashy);
+  EXPECT_GT(crashy, 0.9);  // crashes cost hours, not days
+  EXPECT_THROW((void)model.goodput_fraction(-1.0, 10), CheckError);
+}
+
+TEST(Checkpoint, ZeroGpusRejected) {
+  CheckpointModel model;
+  EXPECT_THROW((void)model.crash_cost(Duration::hours(1.0), 0), CheckError);
+}
+
+}  // namespace
+}  // namespace hpn::fault

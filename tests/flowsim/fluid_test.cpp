@@ -1,0 +1,120 @@
+#include "flowsim/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+namespace {
+
+using topo::LinkKind;
+using topo::NodeKind;
+using topo::Topology;
+
+class FluidTest : public ::testing::Test {
+ protected:
+  Topology t;
+  sim::Simulator s;
+  LinkId hot{}, cold{};
+
+  void SetUp() override {
+    const NodeId a = t.add_node(NodeKind::kNic, "a");
+    const NodeId b = t.add_node(NodeKind::kTor, "b");
+    const NodeId c = t.add_node(NodeKind::kNic, "c");
+    hot = t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(200), Duration::micros(1))
+              .forward;
+    cold = t.add_duplex_link(b, c, LinkKind::kAccess, Bandwidth::gbps(200), Duration::micros(1))
+               .forward;
+  }
+};
+
+TEST_F(FluidTest, SingleFlowReachesLineRateNoQueue) {
+  FluidSimulator fl{t, s};
+  const FlowId f = fl.start_flow({hot, cold}, Bandwidth::gbps(200));
+  s.run_for(Duration::millis(100));
+  EXPECT_NEAR(fl.flow_rate(f).as_gbps(), 200.0, 5.0);
+  // A single flow at its cap cannot overrun the equal-capacity link.
+  EXPECT_LT(fl.queue_of(hot).as_kilobytes(), 15.0);
+}
+
+TEST_F(FluidTest, OverloadedLinkBuildsStandingQueue) {
+  FluidSimulator fl{t, s};
+  fl.start_flow({hot}, Bandwidth::gbps(200));
+  fl.start_flow({hot}, Bandwidth::gbps(200));
+  s.run_for(Duration::millis(200));
+  // Delivered rate pinned at capacity; ECN holds a standing queue above
+  // kmin but flows keep the link full.
+  EXPECT_NEAR(fl.delivered_rate(hot).as_gbps(), 200.0, 5.0);
+  EXPECT_GT(fl.queue_of(hot).as_kilobytes(), 10.0);
+  EXPECT_LT(fl.queue_of(hot).as_megabytes(), 1.1);
+}
+
+TEST_F(FluidTest, MoreContentionMeansLongerQueue) {
+  FluidSimulator fl2{t, s};
+  fl2.start_flow({hot}, Bandwidth::gbps(200));
+  fl2.start_flow({hot}, Bandwidth::gbps(200));
+  s.run_for(Duration::millis(200));
+  const double q2 = fl2.queue_of(hot).as_kilobytes();
+  fl2.start_flow({hot}, Bandwidth::gbps(200));
+  fl2.start_flow({hot}, Bandwidth::gbps(200));
+  s.run_for(Duration::millis(300));
+  const double q4 = fl2.queue_of(hot).as_kilobytes();
+  EXPECT_GT(q4, q2 * 1.2) << "doubling the elephants should deepen the queue";
+}
+
+TEST_F(FluidTest, FiniteFlowCompletes) {
+  FluidSimulator fl{t, s};
+  bool done = false;
+  // 2.5 GB at 200 Gbps ~ 0.1 s.
+  fl.start_flow({hot, cold}, Bandwidth::gbps(200), DataSize::gigabytes(2.5),
+                [&](FlowId) { done = true; });
+  s.run_for(Duration::millis(300));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fl.active_flows(), 0u);
+}
+
+TEST_F(FluidTest, StopFlowDrainsQueue) {
+  FluidSimulator fl{t, s};
+  const FlowId a = fl.start_flow({hot}, Bandwidth::gbps(200));
+  const FlowId b = fl.start_flow({hot}, Bandwidth::gbps(200));
+  s.run_for(Duration::millis(200));
+  EXPECT_GT(fl.queue_of(hot).as_kilobytes(), 10.0);
+  EXPECT_TRUE(fl.stop_flow(a));
+  EXPECT_TRUE(fl.stop_flow(b));
+  // Keep one light flow alive so the engine keeps ticking and draining.
+  fl.start_flow({cold}, Bandwidth::gbps(1));
+  s.run_for(Duration::millis(100));
+  EXPECT_LT(fl.queue_of(hot).as_kilobytes(), 1.0);
+}
+
+TEST_F(FluidTest, GoodputScalesUnderOverload) {
+  FluidSimulator fl{t, s};
+  const FlowId a = fl.start_flow({hot}, Bandwidth::gbps(200));
+  const FlowId b = fl.start_flow({hot}, Bandwidth::gbps(200));
+  s.run_for(Duration::millis(100));
+  const double sum = fl.flow_goodput(a).as_gbps() + fl.flow_goodput(b).as_gbps();
+  EXPECT_LE(sum, 205.0);
+  EXPECT_GT(sum, 150.0);
+}
+
+TEST_F(FluidTest, IdleEngineStopsTicking) {
+  FluidSimulator fl{t, s};
+  bool done = false;
+  fl.start_flow({hot}, Bandwidth::gbps(200), DataSize::megabytes(250), [&](FlowId) { done = true; });
+  s.run();  // must terminate: timer disarms once no flows remain
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fl.active_flows(), 0u);
+}
+
+TEST_F(FluidTest, EmptyPathRejected) {
+  FluidSimulator fl{t, s};
+  EXPECT_THROW(fl.start_flow({}, Bandwidth::gbps(1)), CheckError);
+}
+
+TEST_F(FluidTest, QueueOfUnknownLinkIsZero) {
+  FluidSimulator fl{t, s};
+  EXPECT_EQ(fl.queue_of(LinkId{999}).as_bits(), 0);
+}
+
+}  // namespace
+}  // namespace hpn::flowsim

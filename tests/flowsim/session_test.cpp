@@ -1,0 +1,197 @@
+#include "flowsim/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+namespace {
+
+using topo::LinkKind;
+using topo::NodeKind;
+using topo::Topology;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  Topology t;
+  sim::Simulator s;
+  LinkId ab{}, bc{};
+
+  void SetUp() override {
+    const NodeId a = t.add_node(NodeKind::kNic, "a");
+    const NodeId b = t.add_node(NodeKind::kTor, "b");
+    const NodeId c = t.add_node(NodeKind::kNic, "c");
+    ab = t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(1), Duration::micros(1))
+             .forward;
+    bc = t.add_duplex_link(b, c, LinkKind::kAccess, Bandwidth::gbps(1), Duration::micros(1))
+             .forward;
+  }
+};
+
+TEST_F(SessionTest, SingleFlowFinishesAtExactTime) {
+  FlowSession fs{t, s};
+  TimePoint done = TimePoint::far_future();
+  fs.start_flow({ab, bc}, DataSize::gigabytes(0.125) /* 1 Gbit */, Bandwidth::gbps(10),
+                [&](FlowId) { done = s.now(); });
+  s.run();
+  EXPECT_NEAR((done - TimePoint::origin()).as_seconds(), 1.0, 1e-6);
+  EXPECT_EQ(fs.active_flows(), 0u);
+}
+
+TEST_F(SessionTest, CapLimitsRate) {
+  FlowSession fs{t, s};
+  TimePoint done;
+  fs.start_flow({ab}, DataSize::bits(500'000'000), Bandwidth::gbps(0.5),
+                [&](FlowId) { done = s.now(); });
+  s.run();
+  EXPECT_NEAR((done - TimePoint::origin()).as_seconds(), 1.0, 1e-6);
+}
+
+TEST_F(SessionTest, TwoFlowsShareThenSpeedUp) {
+  // A: 2 Gbit, B: 1 Gbit on a 1 Gbps link. Both run at 0.5 until B ends at
+  // t=2s; A then runs at 1.0 and ends at t=3s.
+  FlowSession fs{t, s};
+  TimePoint a_done, b_done;
+  const FlowId a = fs.start_flow({ab}, DataSize::bits(2'000'000'000), Bandwidth::gbps(10),
+                                 [&](FlowId) { a_done = s.now(); });
+  fs.start_flow({ab}, DataSize::bits(1'000'000'000), Bandwidth::gbps(10),
+                [&](FlowId) { b_done = s.now(); });
+  s.run_until(TimePoint::at_nanos(1'000'000'000));
+  EXPECT_NEAR(fs.rate_of(a)->as_gbps(), 0.5, 1e-9);
+  s.run();
+  EXPECT_NEAR((b_done - TimePoint::origin()).as_seconds(), 2.0, 1e-6);
+  EXPECT_NEAR((a_done - TimePoint::origin()).as_seconds(), 3.0, 1e-6);
+}
+
+TEST_F(SessionTest, ZeroSizeCompletesImmediately) {
+  FlowSession fs{t, s};
+  bool done = false;
+  fs.start_flow({ab}, DataSize::zero(), Bandwidth::gbps(1), [&](FlowId) { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.now(), TimePoint::origin());
+}
+
+TEST_F(SessionTest, CompletionCanChainFlows) {
+  FlowSession fs{t, s};
+  TimePoint second_done;
+  fs.start_flow({ab}, DataSize::bits(1'000'000'000), Bandwidth::gbps(10), [&](FlowId) {
+    fs.start_flow({bc}, DataSize::bits(1'000'000'000), Bandwidth::gbps(10),
+                  [&](FlowId) { second_done = s.now(); });
+  });
+  s.run();
+  EXPECT_NEAR((second_done - TimePoint::origin()).as_seconds(), 2.0, 1e-6);
+}
+
+TEST_F(SessionTest, AbortStopsFlowWithoutCallback) {
+  FlowSession fs{t, s};
+  bool fired = false;
+  const FlowId id =
+      fs.start_flow({ab}, DataSize::gigabytes(100), Bandwidth::gbps(10), [&](FlowId) { fired = true; });
+  s.schedule_after(Duration::seconds(1.0), [&] { EXPECT_TRUE(fs.abort_flow(id)); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(fs.active_flows(), 0u);
+  EXPECT_FALSE(fs.abort_flow(id));
+}
+
+TEST_F(SessionTest, AbortFreesBandwidthForOthers) {
+  FlowSession fs{t, s};
+  TimePoint b_done;
+  const FlowId a = fs.start_flow({ab}, DataSize::gigabytes(100), Bandwidth::gbps(10));
+  fs.start_flow({ab}, DataSize::bits(1'500'000'000), Bandwidth::gbps(10),
+                [&](FlowId) { b_done = s.now(); });
+  // B runs at 0.5 for 1s (0.5 Gbit moved), then alone at 1.0 for 1s more.
+  s.schedule_after(Duration::seconds(1.0), [&] { fs.abort_flow(a); });
+  s.run();
+  EXPECT_NEAR((b_done - TimePoint::origin()).as_seconds(), 2.0, 1e-6);
+}
+
+TEST_F(SessionTest, ThroughputOnLinkTracksRates) {
+  FlowSession fs{t, s};
+  fs.start_flow({ab, bc}, DataSize::gigabytes(10), Bandwidth::gbps(10));
+  fs.start_flow({ab}, DataSize::gigabytes(10), Bandwidth::gbps(10));
+  s.run_until(TimePoint::at_nanos(1000));
+  EXPECT_NEAR(fs.throughput_on(ab).as_gbps(), 1.0, 1e-9);
+  EXPECT_NEAR(fs.throughput_on(bc).as_gbps(), 0.5, 1e-9);
+}
+
+TEST_F(SessionTest, SimultaneousStartsBatchIntoOneAllocation) {
+  FlowSession fs{t, s};
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(fs.start_flow({ab}, DataSize::gigabytes(1), Bandwidth::gbps(10)));
+  }
+  s.run_until(TimePoint::at_nanos(10));
+  for (const FlowId id : ids) EXPECT_NEAR(fs.rate_of(id)->as_gbps(), 0.25, 1e-9);
+}
+
+TEST_F(SessionTest, DeliveredTotalAccumulates) {
+  FlowSession fs{t, s};
+  fs.start_flow({ab}, DataSize::bits(1'000'000'000), Bandwidth::gbps(10));
+  s.run();
+  EXPECT_NEAR(static_cast<double>(fs.delivered_total().as_bits()), 1e9, 1e3);
+}
+
+TEST_F(SessionTest, RateOfUnknownFlowIsNullopt) {
+  FlowSession fs{t, s};
+  EXPECT_FALSE(fs.rate_of(FlowId{404}).has_value());
+  EXPECT_FALSE(fs.remaining_of(FlowId{404}).has_value());
+}
+
+}  // namespace
+}  // namespace hpn::flowsim
+// --- Tracing --------------------------------------------------------------------
+namespace hpn::flowsim {
+namespace {
+
+TEST_F(SessionTest, TraceRecordsCompletedFlows) {
+  FlowSession fs{t, s};
+  fs.enable_tracing(true);
+  fs.start_flow({ab}, DataSize::bits(1'000'000'000), Bandwidth::gbps(10));
+  fs.start_flow({ab, bc}, DataSize::bits(500'000'000), Bandwidth::gbps(10));
+  s.run();
+  ASSERT_EQ(fs.trace().size(), 2u);
+  for (const FlowRecord& r : fs.trace()) {
+    EXPECT_FALSE(r.aborted);
+    EXPECT_GT(r.fct().as_seconds(), 0.0);
+    EXPECT_GT(r.average_rate().as_gbps(), 0.0);
+    EXPECT_LE(r.average_rate().as_gbps(), 1.0 + 1e-6);
+  }
+}
+
+TEST_F(SessionTest, TraceMarksAborted) {
+  FlowSession fs{t, s};
+  fs.enable_tracing(true);
+  const FlowId id = fs.start_flow({ab}, DataSize::gigabytes(100), Bandwidth::gbps(10));
+  s.run_until(TimePoint::at_nanos(1'000'000));
+  fs.abort_flow(id);
+  s.run();
+  ASSERT_EQ(fs.trace().size(), 1u);
+  EXPECT_TRUE(fs.trace()[0].aborted);
+}
+
+TEST_F(SessionTest, TraceCsvWellFormed) {
+  FlowSession fs{t, s};
+  fs.enable_tracing(true);
+  fs.start_flow({ab}, DataSize::megabytes(10), Bandwidth::gbps(10));
+  s.run();
+  std::ostringstream os;
+  fs.write_trace_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.substr(0, 2), "id");
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + 1 row
+}
+
+TEST_F(SessionTest, TracingOffByDefault) {
+  FlowSession fs{t, s};
+  fs.start_flow({ab}, DataSize::megabytes(1), Bandwidth::gbps(10));
+  s.run();
+  EXPECT_TRUE(fs.trace().empty());
+}
+
+}  // namespace
+}  // namespace hpn::flowsim

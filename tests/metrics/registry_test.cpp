@@ -1,0 +1,57 @@
+#include "metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hpn::metrics {
+namespace {
+
+TEST(Registry, CounterLifecycle) {
+  Registry r;
+  EXPECT_FALSE(r.has_counter("flows"));
+  r.counter("flows").increment();
+  r.counter("flows").increment(4);
+  EXPECT_TRUE(r.has_counter("flows"));
+  EXPECT_EQ(r.counter("flows").value(), 5u);
+}
+
+TEST(Registry, GaugeLifecycle) {
+  Registry r;
+  r.gauge("queue_kb").set(42.5);
+  r.gauge("queue_kb").add(-2.5);
+  EXPECT_DOUBLE_EQ(r.gauge("queue_kb").value(), 40.0);
+}
+
+TEST(Registry, SnapshotSortedAndComplete) {
+  Registry r;
+  r.counter("b.count").increment(7);
+  r.counter("a.count").increment(3);
+  r.gauge("c.level").set(1.5);
+  const Table t = r.snapshot();
+  ASSERT_EQ(t.rows().size(), 3u);
+  EXPECT_EQ(t.rows()[0][0], "a.count");
+  EXPECT_EQ(t.rows()[0][1], "3");
+  EXPECT_EQ(t.rows()[1][0], "b.count");
+  EXPECT_EQ(t.rows()[2][0], "c.level");
+}
+
+TEST(Registry, ResetClearsEverything) {
+  Registry r;
+  r.counter("x").increment();
+  r.gauge("y").set(1);
+  r.reset();
+  EXPECT_FALSE(r.has_counter("x"));
+  EXPECT_FALSE(r.has_gauge("y"));
+}
+
+TEST(Registry, DistinctNamesAreIndependent) {
+  Registry r;
+  r.counter("a").increment(1);
+  r.counter("b").increment(2);
+  EXPECT_EQ(r.counter("a").value(), 1u);
+  EXPECT_EQ(r.counter("b").value(), 2u);
+}
+
+}  // namespace
+}  // namespace hpn::metrics

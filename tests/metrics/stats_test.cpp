@@ -1,0 +1,114 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpn::metrics {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37 - 3;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+}
+
+TEST(SampleSet, QuantileOutOfRangeThrows) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(-0.1), CheckError);
+  EXPECT_THROW((void)s.quantile(1.1), CheckError);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsDeduplicated) {
+  SampleSet s;
+  for (double v : {1.0, 1.0, 2.0, 3.0, 3.0, 3.0}) s.add(v);
+  const auto pts = s.cdf_points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].second, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(pts[2].second, 1.0);
+}
+
+TEST(SampleSet, InsertAfterQueryResorts) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);    // bin 0
+  h.add(3.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(-5.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h{0.0, 1.0, 1};
+  h.add(0.5, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bin(0), 10u);
+}
+
+TEST(Histogram, InvalidRangeThrows) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 5}), CheckError);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), CheckError);
+}
+
+}  // namespace
+}  // namespace hpn::metrics

@@ -1,0 +1,60 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hpn::metrics {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{"demo"};
+  t.columns({"arch", "gpus"});
+  t.add_row({"HPN", "15360"});
+  t.add_row({"DCN+", "512"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("HPN"), std::string::npos);
+  EXPECT_NE(s.find("15360"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t;
+  t.columns({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10.0, 0), "10");
+  EXPECT_EQ(Table::percent(0.149), "14.9%");
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table t;
+  t.columns({"k", "v"});
+  t.add_row({"a", "1"});
+  const std::string path = t.save_csv(::testing::TempDir() + "hpn_table_test", "out");
+  std::ifstream f{path};
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+}
+
+}  // namespace
+}  // namespace hpn::metrics

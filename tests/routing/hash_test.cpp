@@ -1,0 +1,122 @@
+#include "routing/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hpn::routing {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // Standard IEEE CRC32 check value for "123456789".
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(HashTuple, Deterministic) {
+  const FiveTuple ft{.src_ip = 1, .dst_ip = 2, .src_port = 100};
+  EXPECT_EQ(hash_tuple(ft, 7), hash_tuple(ft, 7));
+}
+
+TEST(HashTuple, SeedSensitivity) {
+  const FiveTuple ft{.src_ip = 1, .dst_ip = 2, .src_port = 100};
+  EXPECT_NE(hash_tuple(ft, 7), hash_tuple(ft, 8));
+}
+
+TEST(HashTuple, SourcePortMovesHash) {
+  // RePaC relies on the UDP source port steering the hash.
+  FiveTuple a{.src_ip = 1, .dst_ip = 2, .src_port = 100};
+  FiveTuple b = a;
+  b.src_port = 101;
+  EXPECT_NE(hash_tuple(a, 7), hash_tuple(b, 7));
+}
+
+TEST(SeedPolicy, IdenticalSeedsEverywhere) {
+  EcmpHasher h{HashConfig{.seeds = SeedPolicy::kIdentical}};
+  EXPECT_EQ(h.seed_for(NodeId{1}), h.seed_for(NodeId{999}));
+}
+
+TEST(SeedPolicy, VendorFamilyHasFourVariants) {
+  EcmpHasher h{HashConfig{.seeds = SeedPolicy::kVendorFamily}};
+  std::set<std::uint32_t> seeds;
+  for (std::uint32_t i = 0; i < 100; ++i) seeds.insert(h.seed_for(NodeId{i}));
+  EXPECT_EQ(seeds.size(), 4u);
+}
+
+TEST(SeedPolicy, PerSwitchSeedsDistinct) {
+  EcmpHasher h{HashConfig{.seeds = SeedPolicy::kPerSwitch}};
+  std::set<std::uint32_t> seeds;
+  for (std::uint32_t i = 0; i < 100; ++i) seeds.insert(h.seed_for(NodeId{i}));
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(EcmpHasher, SelectWithinRange) {
+  EcmpHasher h;
+  for (std::uint32_t ip = 0; ip < 100; ++ip) {
+    const FiveTuple ft{.src_ip = ip, .dst_ip = 1};
+    EXPECT_LT(h.select(ft, NodeId{1}, 7), 7u);
+  }
+}
+
+TEST(EcmpHasher, SingleCandidateAlwaysZero) {
+  EcmpHasher h;
+  EXPECT_EQ(h.select(FiveTuple{}, NodeId{1}, 1), 0u);
+}
+
+TEST(EcmpHasher, IdenticalSeedsPolarize) {
+  // The §2.2 cascade: with identical seeds, a flow's choice at a second
+  // switch is fully determined by its choice at the first when candidate
+  // counts share a divisor. n1=60, n2=2: idx2 == idx1 % 2 for every flow.
+  EcmpHasher h{HashConfig{.seeds = SeedPolicy::kIdentical}};
+  for (std::uint32_t ip = 0; ip < 500; ++ip) {
+    const FiveTuple ft{.src_ip = ip, .dst_ip = 9, .src_port = static_cast<std::uint16_t>(ip)};
+    const std::size_t first = h.select(ft, NodeId{1}, 60);
+    const std::size_t second = h.select(ft, NodeId{2}, 2);
+    EXPECT_EQ(second, first % 2);
+  }
+}
+
+TEST(EcmpHasher, PerSwitchSeedsDecorrelate) {
+  EcmpHasher h{HashConfig{.seeds = SeedPolicy::kPerSwitch}};
+  int match = 0;
+  const int n = 2000;
+  for (std::uint32_t ip = 0; ip < static_cast<std::uint32_t>(n); ++ip) {
+    const FiveTuple ft{.src_ip = ip, .dst_ip = 9, .src_port = static_cast<std::uint16_t>(ip)};
+    match += h.select(ft, NodeId{1}, 60) % 2 == h.select(ft, NodeId{2}, 2);
+  }
+  // Independent hashes agree ~50% of the time.
+  EXPECT_NEAR(static_cast<double>(match) / n, 0.5, 0.05);
+}
+
+TEST(EcmpHasher, PerPortCoreIgnoresFiveTuple) {
+  EcmpHasher h{HashConfig{.per_port_at_core = true}};
+  const FiveTuple a{.src_ip = 1, .dst_ip = 42, .src_port = 10};
+  const FiveTuple b{.src_ip = 2, .dst_ip = 42, .src_port = 999};
+  for (std::uint16_t port = 0; port < 32; ++port) {
+    EXPECT_EQ(h.select_at_core(a, NodeId{5}, port, 8), h.select_at_core(b, NodeId{5}, port, 8));
+  }
+}
+
+TEST(EcmpHasher, PerPortCoreSpreadsAcrossPorts) {
+  EcmpHasher h{HashConfig{.per_port_at_core = true}};
+  const FiveTuple ft{.src_ip = 1, .dst_ip = 42};
+  std::set<std::size_t> picks;
+  for (std::uint16_t port = 0; port < 64; ++port) {
+    picks.insert(h.select_at_core(ft, NodeId{5}, port, 8));
+  }
+  EXPECT_EQ(picks.size(), 8u);  // all egress choices reachable
+}
+
+TEST(EcmpHasher, PerPortCoreOffFallsBackToTupleHash) {
+  EcmpHasher h{HashConfig{.per_port_at_core = false}};
+  const FiveTuple ft{.src_ip = 1, .dst_ip = 42};
+  EXPECT_EQ(h.select_at_core(ft, NodeId{5}, 3, 8), h.select(ft, NodeId{5}, 8));
+}
+
+}  // namespace
+}  // namespace hpn::routing

@@ -1,0 +1,89 @@
+#include "routing/int_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace hpn::routing {
+namespace {
+
+using topo::Cluster;
+using topo::HpnConfig;
+
+class IntProbeTest : public ::testing::Test {
+ protected:
+  Cluster c = topo::build_hpn(HpnConfig::tiny());
+  Router r{c.topo};
+
+  Path cross_segment_path(int plane) {
+    const auto& att = c.nic_of(0);
+    return r.trace_via(att.access[static_cast<std::size_t>(plane)], c.nic_of(4 * 8).nic,
+                       FiveTuple{.src_ip = 1, .dst_ip = 2, .src_port = 777});
+  }
+};
+
+TEST_F(IntProbeTest, RecordsEverySwitchHop) {
+  const Path p = cross_segment_path(0);
+  ASSERT_TRUE(p.valid());
+  const auto records = int_probe(c.topo, p);
+  // NIC -> ToR -> Agg -> ToR -> NIC: three switch hops.
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, topo::NodeKind::kTor);
+  EXPECT_EQ(records[1].kind, topo::NodeKind::kAgg);
+  EXPECT_EQ(records[2].kind, topo::NodeKind::kTor);
+}
+
+TEST_F(IntProbeTest, CorrectWiringPassesBlueprint) {
+  for (int plane = 0; plane < 2; ++plane) {
+    const auto records = int_probe(c.topo, cross_segment_path(plane));
+    EXPECT_TRUE(check_blueprint(c, records, plane, /*expected_rail=*/0).empty());
+  }
+}
+
+TEST_F(IntProbeTest, DetectsCrossPlaneMiswire) {
+  // Physically re-cable the NIC's port 0 to the plane-1 ToR (the §10 field
+  // mistake). The static attachment record still says plane 0, so static
+  // validation can't see the probe's view — but INT can.
+  auto records = int_probe(c.topo, cross_segment_path(1));  // actual plane-1 path
+  const auto violations = check_blueprint(c, records, /*expected_plane=*/0, 0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("plane 1"), std::string::npos);
+}
+
+TEST_F(IntProbeTest, DetectsCrossRailWire) {
+  // Probe a rail-1 path but claim the blueprint expects rail 0.
+  const auto& att = c.nic_of(1);  // rank 1 = rail 1
+  const Path p = r.trace_via(att.access[0], c.nic_of(4 * 8 + 1).nic,
+                             FiveTuple{.src_ip = 3, .dst_ip = 4, .src_port = 9});
+  const auto violations = check_blueprint(c, int_probe(c.topo, p), 0, /*expected_rail=*/0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("rail"), std::string::npos);
+}
+
+TEST_F(IntProbeTest, TierSequenceValidAcrossPods) {
+  auto cfg = HpnConfig::tiny();
+  cfg.pods = 2;
+  Cluster c2 = topo::build_hpn(cfg);
+  Router r2{c2.topo};
+  const auto& att = c2.nic_of(0);
+  const int ranks_per_pod = 2 * 4 * 8;
+  const Path p = r2.trace_via(att.access[0], c2.nic_of(ranks_per_pod).nic,
+                              FiveTuple{.src_ip = 5, .dst_ip = 6, .src_port = 11});
+  ASSERT_TRUE(p.valid());
+  const auto records = int_probe(c2.topo, p);
+  ASSERT_EQ(records.size(), 5u);  // ToR Agg Core Agg ToR
+  EXPECT_EQ(records[2].kind, topo::NodeKind::kCore);
+  EXPECT_TRUE(check_blueprint(c2, records, 0, 0).empty());
+}
+
+TEST_F(IntProbeTest, IntraTorPathHasSingleHop) {
+  const auto& att = c.nic_of(0);
+  const Path p = r.trace_via(att.access[0], c.nic_of(8).nic,
+                             FiveTuple{.src_ip = 7, .dst_ip = 8, .src_port = 13});
+  const auto records = int_probe(c.topo, p);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, topo::NodeKind::kTor);
+}
+
+}  // namespace
+}  // namespace hpn::routing

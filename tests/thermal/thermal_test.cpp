@@ -1,0 +1,89 @@
+#include "thermal/thermal.h"
+
+#include <gtest/gtest.h>
+
+namespace hpn::thermal {
+namespace {
+
+TEST(ChipPower, GenerationalIncrease) {
+  // Fig 9a: monotone increase; 51.2T is +45% over 25.6T.
+  const double p256 = chip_power_watts(Bandwidth::tbps(25.6));
+  const double p512 = chip_power_watts(Bandwidth::tbps(51.2));
+  EXPECT_NEAR(p512 / p256, 1.45, 0.01);
+  EXPECT_LT(chip_power_watts(Bandwidth::tbps(3.2)), chip_power_watts(Bandwidth::tbps(6.4)));
+  EXPECT_LT(chip_power_watts(Bandwidth::tbps(6.4)), chip_power_watts(Bandwidth::tbps(12.8)));
+}
+
+TEST(ChipPower, InterpolatesBetweenAnchors) {
+  const double p = chip_power_watts(Bandwidth::tbps(18.0));
+  EXPECT_GT(p, chip_power_watts(Bandwidth::tbps(12.8)));
+  EXPECT_LT(p, chip_power_watts(Bandwidth::tbps(25.6)));
+}
+
+TEST(Cooling, OptimizedVcIs15PercentBetter) {
+  const auto orig = original_vapor_chamber();
+  const auto opt = optimized_vapor_chamber();
+  EXPECT_NEAR(allowed_operation_power(opt) / allowed_operation_power(orig), 1.15, 1e-9);
+}
+
+// Fig 9b: heat pipe and original VC cannot sustain the 51.2T chip at full
+// power; the optimized VC can.
+TEST(Cooling, OnlyOptimizedVcSurvivesFullLoad) {
+  EXPECT_FALSE(survives_full_load(heat_pipe()));
+  EXPECT_FALSE(survives_full_load(original_vapor_chamber()));
+  EXPECT_TRUE(survives_full_load(optimized_vapor_chamber()));
+}
+
+TEST(Cooling, EveryoneSurvivesPreviousGeneration) {
+  EXPECT_TRUE(survives_full_load(heat_pipe(), Bandwidth::tbps(25.6)));
+  EXPECT_TRUE(survives_full_load(original_vapor_chamber(), Bandwidth::tbps(25.6)));
+}
+
+TEST(ThermalState, OriginalVcTripsUnderSustainedFullLoad) {
+  ChipThermalState chip{original_vapor_chamber()};
+  const double full_power = chip_power_watts(Bandwidth::tbps(51.2));
+  for (int i = 0; i < 600 && !chip.tripped(); ++i) {
+    chip.step(full_power, Duration::seconds(1.0));
+  }
+  EXPECT_TRUE(chip.tripped()) << "over-temperature protection must fire";
+}
+
+TEST(ThermalState, OptimizedVcStaysBelowTjmax) {
+  ChipThermalState chip{optimized_vapor_chamber()};
+  const double full_power = chip_power_watts(Bandwidth::tbps(51.2));
+  for (int i = 0; i < 600; ++i) chip.step(full_power, Duration::seconds(1.0));
+  EXPECT_FALSE(chip.tripped());
+  EXPECT_LT(chip.temperature_c(), 105.0);
+  EXPECT_GT(chip.temperature_c(), 90.0);  // running hot, as expected
+}
+
+TEST(ThermalState, TrippedChipStaysDownAndCools) {
+  ChipThermalState chip{heat_pipe()};
+  const double full_power = chip_power_watts(Bandwidth::tbps(51.2));
+  for (int i = 0; i < 600 && !chip.tripped(); ++i) {
+    chip.step(full_power, Duration::seconds(1.0));
+  }
+  ASSERT_TRUE(chip.tripped());
+  for (int i = 0; i < 600; ++i) chip.step(full_power, Duration::seconds(1.0));
+  EXPECT_TRUE(chip.tripped());
+  EXPECT_NEAR(chip.temperature_c(), 35.0, 2.0);  // idle power, ambient
+}
+
+TEST(ThermalState, WarmupIsGradual) {
+  ChipThermalState chip{optimized_vapor_chamber()};
+  const double p = chip_power_watts(Bandwidth::tbps(51.2));
+  const double t1 = chip.step(p, Duration::seconds(1.0));
+  const double t2 = chip.step(p, Duration::seconds(1.0));
+  EXPECT_GT(t1, 35.0);
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, steady_junction_temp(p, optimized_vapor_chamber()));
+}
+
+TEST(Thermal, SteadyStateAlgebra) {
+  const auto vc = original_vapor_chamber();
+  const double allowed = allowed_operation_power(vc);
+  EXPECT_NEAR(steady_junction_temp(allowed, vc), 105.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpn::thermal

@@ -1,0 +1,69 @@
+#include "topo/blast_radius.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace hpn::topo {
+namespace {
+
+TEST(BlastRadius, DualTorTorFailureOnlyDegrades) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  // A rail-0 plane-0 ToR serves 4 hosts in its segment.
+  const NodeId tor = c.hosts[0].nics[0].tor[0];
+  const BlastRadius r = blast_radius_of_node(c, tor);
+  EXPECT_EQ(r.isolated_hosts, 0) << "dual-ToR: the sibling keeps every host attached";
+  EXPECT_EQ(r.degraded_hosts, 4);
+  EXPECT_GT(r.bandwidth_lost_fraction, 0.0);
+}
+
+TEST(BlastRadius, SingleTorTorFailureIsolatesTheSegmentRail) {
+  auto cfg = HpnConfig::tiny();
+  cfg.dual_tor = false;
+  Cluster c = build_hpn(cfg);
+  const NodeId tor = c.hosts[0].nics[0].tor[0];
+  const BlastRadius r = blast_radius_of_node(c, tor);
+  EXPECT_EQ(r.isolated_hosts, 4) << "single-ToR: every host on the rail is cut off";
+}
+
+TEST(BlastRadius, DcnPlusSingleTorScalesWorse) {
+  // DCN+'s non-rail-optimized single-ToR variant: one ToR carries all 8
+  // NICs of 16 hosts — the "hundreds of hosts" story at paper scale.
+  topo::DcnPlusConfig cfg;
+  cfg.dual_tor = false;
+  Cluster c = build_dcn_plus(cfg);
+  const BlastRadius r = worst_blast_radius(c, NodeKind::kTor);
+  EXPECT_EQ(r.isolated_hosts, 16);
+}
+
+TEST(BlastRadius, AggFailureNeverIsolates) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const BlastRadius r = worst_blast_radius(c, NodeKind::kAgg);
+  EXPECT_EQ(r.isolated_hosts, 0);
+  EXPECT_EQ(r.degraded_hosts, 0) << "Agg failures cost fabric paths, not access";
+}
+
+TEST(BlastRadius, AccessLinkFailure) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const BlastRadius dual = blast_radius_of_access(c, 2, 3, 1);
+  EXPECT_EQ(dual.isolated_hosts, 0);
+  EXPECT_EQ(dual.degraded_hosts, 1);
+
+  auto cfg = HpnConfig::tiny();
+  cfg.dual_tor = false;
+  Cluster single = build_hpn(cfg);
+  const BlastRadius s = blast_radius_of_access(single, 2, 3, 0);
+  EXPECT_EQ(s.isolated_hosts, 1) << "single-ToR: one dead cable halts the host's job";
+}
+
+TEST(BlastRadius, RestoresTopologyAfterAssessment) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const NodeId tor = c.hosts[0].nics[0].tor[0];
+  (void)blast_radius_of_node(c, tor);
+  for (const LinkId l : c.topo.out_links(tor)) {
+    EXPECT_TRUE(c.topo.is_up(l));
+  }
+}
+
+}  // namespace
+}  // namespace hpn::topo

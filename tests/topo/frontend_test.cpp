@@ -1,0 +1,100 @@
+#include "topo/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/router.h"
+#include "topo/builders.h"
+#include "topo/validate.h"
+
+namespace hpn::topo {
+namespace {
+
+TEST(Frontend, AttachBuildsSeparateNetwork) {
+  Cluster c = build_hpn(HpnConfig::tiny());  // 8 hosts
+  const auto before_links = c.topo.link_count();
+  const auto storage = attach_frontend(c);
+  EXPECT_EQ(storage.size(), 8u);
+  EXPECT_FALSE(c.frontend_aggs.empty());
+  EXPECT_FALSE(c.frontend_tors.empty());
+  EXPECT_GT(c.topo.link_count(), before_links);
+  for (const Host& h : c.hosts) EXPECT_TRUE(h.frontend_nic.is_valid());
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(Frontend, DoubleAttachRejected) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  attach_frontend(c);
+  EXPECT_THROW(attach_frontend(c), CheckError);
+}
+
+TEST(Frontend, StorageReachableFromEveryHostNic0) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const auto storage = attach_frontend(c);
+  routing::Router r{c.topo};
+  for (const Host& h : c.hosts) {
+    for (const auto& sh : storage) {
+      EXPECT_GE(r.distance(h.frontend_nic, sh.host), 2);
+    }
+  }
+}
+
+TEST(Frontend, PhysicallyDecoupledFromBackend) {
+  // §8: frontend traffic cannot touch the backend fabric. No route exists
+  // from a frontend NIC to a backend NIC.
+  Cluster c = build_hpn(HpnConfig::tiny());
+  attach_frontend(c);
+  routing::Router r{c.topo};
+  EXPECT_EQ(r.distance(c.hosts[0].frontend_nic, c.nic_of(8).nic), -1);
+  EXPECT_EQ(r.distance(c.nic_of(0).nic, c.hosts[1].frontend_nic), -1);
+}
+
+TEST(Frontend, OneToOneOversubscription) {
+  // Each frontend ToR: downstream access bandwidth == upstream fabric
+  // bandwidth (1:1, §8).
+  Cluster c = build_hpn(HpnConfig::tiny());
+  attach_frontend(c);
+  for (const NodeId tor : c.frontend_tors) {
+    double down = 0.0, up = 0.0;
+    for (const LinkId l : c.topo.out_links(tor)) {
+      const auto& link = c.topo.link(l);
+      (link.kind == LinkKind::kAccess ? down : up) += link.capacity.as_gbps();
+    }
+    EXPECT_LE(down, up + 1e-9) << c.topo.node(tor).name;
+  }
+}
+
+TEST(Frontend, StorageDualTor) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const auto storage = attach_frontend(c);
+  for (const auto& sh : storage) {
+    EXPECT_EQ(sh.nic.ports, 2);
+    EXPECT_NE(sh.nic.tor[0], sh.nic.tor[1]);
+    EXPECT_FALSE(sh.on_backend);
+  }
+}
+
+TEST(BackendStorage, AttachesToBackendTors) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const auto storage = attach_backend_storage(c, 8);
+  ASSERT_EQ(storage.size(), 8u);
+  routing::Router r{c.topo};
+  for (const auto& sh : storage) {
+    EXPECT_TRUE(sh.on_backend);
+    // Reachable from the same-rail backend NIC of any segment-0 host.
+    const int rail = c.topo.node(sh.host).loc.rail;
+    const NodeId nic = c.hosts[1].nics[static_cast<std::size_t>(rail)].nic;
+    EXPECT_EQ(r.distance(nic, sh.host), 2);
+  }
+}
+
+TEST(BackendStorage, ConsumesTorPorts) {
+  // §10 point 3: backend storage eats backend ToR ports.
+  Cluster c = build_hpn(HpnConfig::tiny());
+  const NodeId tor = c.hosts[0].nics[0].tor[0];
+  const auto ports_before = c.topo.port_count(tor);
+  attach_backend_storage(c, 8);
+  EXPECT_GT(c.topo.port_count(tor), ports_before);
+}
+
+}  // namespace
+}  // namespace hpn::topo

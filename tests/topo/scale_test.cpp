@@ -1,0 +1,81 @@
+#include "topo/scale.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace hpn::topo {
+namespace {
+
+// Table 2: the mechanism chain 64 -> 128 -> 1K tier1; 2K -> 4K -> 8K -> 15K
+// tier2.
+TEST(Scale, Table2MechanismChain) {
+  const auto steps = scale_mechanisms();
+  ASSERT_EQ(steps.size(), 5u);
+  EXPECT_EQ(steps[0].mechanism, "51.20Tbps Clos");
+  EXPECT_EQ(steps[0].tier1_gpus, 64);
+  EXPECT_EQ(steps[0].tier2_gpus, 2048);
+  EXPECT_EQ(steps[1].tier1_gpus, 128);
+  EXPECT_EQ(steps[1].tier2_gpus, 4096);
+  EXPECT_EQ(steps[2].tier1_gpus, 1024);
+  EXPECT_EQ(steps[3].tier2_gpus, 8192);
+  EXPECT_EQ(steps[4].tier2_gpus, 15360);
+}
+
+// Table 4 column 1: any-to-any tier2 = 2 planes, 15360 GPUs.
+TEST(Scale, AnyToAnyPod) {
+  const auto s = any_to_any_pod();
+  EXPECT_EQ(s.tier2_planes, 2);
+  EXPECT_EQ(s.gpus_per_segment, 1024);
+  EXPECT_EQ(s.segments_per_pod, 15);
+  EXPECT_EQ(s.gpus_per_pod, 15360);
+}
+
+// Table 4 column 2: rail-only tier2 = 16 planes, 122880 GPUs.
+TEST(Scale, RailOnlyPod) {
+  const auto s = rail_only_pod();
+  EXPECT_EQ(s.tier2_planes, 16);
+  EXPECT_EQ(s.segments_per_pod, 120);
+  EXPECT_EQ(s.gpus_per_pod, 122880);
+}
+
+// Table 1: search-space comparison. HPN O(60); 3-tier architectures 1-2
+// orders of magnitude larger.
+TEST(Scale, Table1Complexity) {
+  const auto rows = path_complexity_table();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].architecture, "Pod in HPN");
+  EXPECT_EQ(rows[0].search_space, 60);
+  EXPECT_EQ(rows[1].search_space, 4096);
+  EXPECT_EQ(rows[2].search_space, 2048);
+  EXPECT_EQ(rows[3].search_space, 2304);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const double ratio = static_cast<double>(rows[i].search_space) /
+                         static_cast<double>(rows[0].search_space);
+    EXPECT_GE(ratio, 10.0) << "HPN should win by 1-2 orders of magnitude";
+    EXPECT_LE(ratio, 100.0);
+  }
+}
+
+// Cross-check: the analytic pod scale matches what the builder materializes.
+TEST(Scale, AnalyticMatchesBuilder) {
+  const auto s = any_to_any_pod();
+  const Cluster c = build_hpn(HpnConfig::paper_pod());
+  int active_gpus = 0;
+  for (const Host& h : c.hosts) {
+    if (!h.backup) active_gpus += static_cast<int>(h.gpus.size());
+  }
+  EXPECT_EQ(active_gpus, s.gpus_per_pod);
+  EXPECT_EQ(c.segments_per_pod, s.segments_per_pod);
+}
+
+TEST(Scale, PreviousGenChipIsSmaller) {
+  ChipSpec prev;
+  prev.capacity = Bandwidth::tbps(25.6);
+  const auto steps = scale_mechanisms(prev);
+  EXPECT_EQ(steps[0].tier1_gpus, 32);
+  EXPECT_LT(steps[4].tier2_gpus, 15360);
+}
+
+}  // namespace
+}  // namespace hpn::topo

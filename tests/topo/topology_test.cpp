@@ -1,0 +1,112 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace hpn::topo {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  Topology t;
+  NodeId a{}, b{}, c{};
+
+  void SetUp() override {
+    a = t.add_node(NodeKind::kNic, "a");
+    b = t.add_node(NodeKind::kTor, "b");
+    c = t.add_node(NodeKind::kAgg, "c");
+  }
+};
+
+TEST_F(TopologyTest, AddNodeAssignsDenseIds) {
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.node(b).kind, NodeKind::kTor);
+  EXPECT_EQ(t.node(b).name, "b");
+}
+
+TEST_F(TopologyTest, DuplexLinkCreatesBothDirections) {
+  const auto dl = t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(200),
+                                    Duration::micros(1));
+  EXPECT_EQ(t.link_count(), 2u);
+  const Link& fwd = t.link(dl.forward);
+  const Link& bwd = t.link(dl.backward);
+  EXPECT_EQ(fwd.src, a);
+  EXPECT_EQ(fwd.dst, b);
+  EXPECT_EQ(bwd.src, b);
+  EXPECT_EQ(bwd.dst, a);
+  EXPECT_EQ(fwd.reverse, dl.backward);
+  EXPECT_EQ(bwd.reverse, dl.forward);
+  EXPECT_EQ(fwd.capacity.as_gbps(), 200.0);
+}
+
+TEST_F(TopologyTest, PortIndexesAllocateSequentially) {
+  const auto l1 = t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(200),
+                                    Duration::micros(1));
+  const auto l2 = t.add_duplex_link(a, c, LinkKind::kFabric, Bandwidth::gbps(400),
+                                    Duration::micros(1));
+  EXPECT_EQ(t.link(l1.forward).src_port, 0);
+  EXPECT_EQ(t.link(l2.forward).src_port, 1);
+  EXPECT_EQ(t.port_count(a), 2);
+  EXPECT_EQ(t.port_count(b), 1);
+}
+
+TEST_F(TopologyTest, SelfLoopRejected) {
+  EXPECT_THROW(t.add_duplex_link(a, a, LinkKind::kFabric, Bandwidth::gbps(1),
+                                 Duration::micros(1)),
+               CheckError);
+}
+
+TEST_F(TopologyTest, ZeroCapacityRejected) {
+  EXPECT_THROW(t.add_duplex_link(a, b, LinkKind::kFabric, Bandwidth::zero(),
+                                 Duration::micros(1)),
+               CheckError);
+}
+
+TEST_F(TopologyTest, AdjacencyAndFindLink) {
+  t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(200), Duration::micros(1));
+  t.add_duplex_link(a, c, LinkKind::kFabric, Bandwidth::gbps(400), Duration::micros(1));
+  EXPECT_EQ(t.out_links(a).size(), 2u);
+  EXPECT_EQ(t.out_links(b).size(), 1u);
+  ASSERT_TRUE(t.find_link(a, b).has_value());
+  EXPECT_EQ(t.link(*t.find_link(a, b)).dst, b);
+  EXPECT_FALSE(t.find_link(b, c).has_value());
+}
+
+TEST_F(TopologyTest, ParallelLinksAllFound) {
+  t.add_duplex_link(b, c, LinkKind::kFabric, Bandwidth::gbps(400), Duration::micros(1));
+  t.add_duplex_link(b, c, LinkKind::kFabric, Bandwidth::gbps(400), Duration::micros(1));
+  t.add_duplex_link(b, c, LinkKind::kFabric, Bandwidth::gbps(400), Duration::micros(1));
+  EXPECT_EQ(t.find_links(b, c).size(), 3u);
+}
+
+TEST_F(TopologyTest, LinkStateToggles) {
+  const auto dl = t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(200),
+                                    Duration::micros(1));
+  EXPECT_TRUE(t.is_up(dl.forward));
+  t.set_link_up(dl.forward, false);
+  EXPECT_FALSE(t.is_up(dl.forward));
+  EXPECT_TRUE(t.is_up(dl.backward));  // one direction only
+  t.set_duplex_up(dl.forward, false);
+  EXPECT_FALSE(t.is_up(dl.backward));
+  t.set_duplex_up(dl.backward, true);
+  EXPECT_TRUE(t.is_up(dl.forward));
+  EXPECT_TRUE(t.is_up(dl.backward));
+}
+
+TEST_F(TopologyTest, UpOutLinksFiltersDown) {
+  const auto l1 = t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(200),
+                                    Duration::micros(1));
+  t.add_duplex_link(a, c, LinkKind::kFabric, Bandwidth::gbps(400), Duration::micros(1));
+  t.set_link_up(l1.forward, false);
+  EXPECT_EQ(t.up_out_links(a).size(), 1u);
+}
+
+TEST_F(TopologyTest, NodesOfKind) {
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kTor).size(), 1u);
+  EXPECT_EQ(t.nodes_of_kind(NodeKind::kCore).size(), 0u);
+}
+
+}  // namespace
+}  // namespace hpn::topo

@@ -1,0 +1,76 @@
+#include "topo/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace hpn::topo {
+namespace {
+
+TEST(Validate, TinyHpnPasses) {
+  const Cluster c = build_hpn(HpnConfig::tiny());
+  EXPECT_TRUE(validate(c).empty());
+  EXPECT_NO_THROW(validate_or_throw(c));
+}
+
+TEST(Validate, PaperPodPasses) {
+  const Cluster c = build_hpn(HpnConfig::paper_pod());
+  const auto violations = validate(c);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations.front());
+}
+
+TEST(Validate, DcnPlusPasses) {
+  const Cluster c = build_dcn_plus(DcnPlusConfig::paper_pod());
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(Validate, FatTreePasses) {
+  const Cluster c = build_fat_tree(FatTreeConfig{.k = 4});
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(Validate, DetectsCrossPlaneMiswire) {
+  // Simulate an on-site wiring mistake (§10): swap one NIC's two ToRs so
+  // port 0 lands on plane 1. The blueprint check must catch it.
+  Cluster c = build_hpn(HpnConfig::tiny());
+  NicAttachment& nic = c.hosts.front().nics.front();
+  std::swap(nic.tor[0], nic.tor[1]);
+  std::swap(nic.access[0], nic.access[1]);
+  const auto violations = validate(c);
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) found |= v.find("plane") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsCrossRailMiswire) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  Host& h = c.hosts.front();
+  // Point rail 0's record at rail 1's ToR attachment.
+  h.nics[0] = h.nics[1];
+  const auto violations = validate(c);
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) found |= v.find("cross-rail") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsChipBudgetViolation) {
+  // A ToR with more port bandwidth than one 51.2T chip provides cannot be a
+  // single-chip switch (§5.1).
+  Cluster c = build_hpn(HpnConfig::paper_pod());
+  ValidationOptions opts;
+  opts.chip_capacity = Bandwidth::tbps(25.6);  // previous-gen chip
+  const auto violations = validate(c, opts);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Validate, ThrowListsViolations) {
+  Cluster c = build_hpn(HpnConfig::tiny());
+  std::swap(c.hosts[0].nics[0].tor[0], c.hosts[0].nics[0].tor[1]);
+  std::swap(c.hosts[0].nics[0].access[0], c.hosts[0].nics[0].access[1]);
+  EXPECT_THROW(validate_or_throw(c), ConfigError);
+}
+
+}  // namespace
+}  // namespace hpn::topo

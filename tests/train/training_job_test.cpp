@@ -1,0 +1,169 @@
+#include "train/training_job.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace hpn::train {
+namespace {
+
+using topo::Cluster;
+using topo::HpnConfig;
+
+struct Rig {
+  Cluster c;
+  sim::Simulator s;
+  flowsim::FlowSession fs;
+  routing::Router r;
+  ccl::ConnectionManager cm;
+
+  explicit Rig(HpnConfig cfg = HpnConfig::tiny())
+      : c{topo::build_hpn(cfg)}, fs{c.topo, s}, r{c.topo}, cm{c, r} {}
+};
+
+workload::ModelPreset fast_model() {
+  // Shrunk model so tests run in milliseconds of simulated time.
+  workload::ModelPreset m = workload::llama_7b();
+  m.compute_per_iteration = Duration::millis(50);
+  m.traffic.dp_all_reduce = DataSize::megabytes(32);
+  m.traffic.tp_all_reduce = DataSize::megabytes(16);
+  return m;
+}
+
+TEST(TrainingJob, IterationsCompleteAndRecordThroughput) {
+  Rig rig;
+  const auto plan = workload::ParallelismPlanner{rig.c}.plan(8, 2, 2);
+  TrainingJob job{rig.c, rig.s, rig.fs, rig.cm, plan, fast_model()};
+  const int done = job.run_iterations(3);
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(job.state(), JobState::kRunning);
+  EXPECT_EQ(job.throughput().size(), 3u);
+  EXPECT_GT(job.steady_samples_per_sec(), 0.0);
+}
+
+TEST(TrainingJob, IterationTimeAtLeastCompute) {
+  Rig rig;
+  const auto plan = workload::ParallelismPlanner{rig.c}.plan(8, 1, 2);
+  const auto model = fast_model();
+  TrainingJob job{rig.c, rig.s, rig.fs, rig.cm, plan, model};
+  job.run_iterations(1);
+  const double samples_per_s = job.throughput().points()[0].value;
+  const double iter_s = plan.world_size() / samples_per_s;
+  EXPECT_GE(iter_s, model.compute_per_iteration.as_seconds());
+}
+
+TEST(TrainingJob, MoreDpTrafficIsSlower) {
+  Rig a;
+  const auto plan_a = workload::ParallelismPlanner{a.c}.plan(8, 1, 4);
+  auto light = fast_model();
+  TrainingJob job_a{a.c, a.s, a.fs, a.cm, plan_a, light};
+  job_a.run_iterations(2);
+
+  Rig b;
+  const auto plan_b = workload::ParallelismPlanner{b.c}.plan(8, 1, 4);
+  auto heavy = fast_model();
+  heavy.traffic.dp_all_reduce = DataSize::gigabytes(4.0);
+  TrainingJob job_b{b.c, b.s, b.fs, b.cm, plan_b, heavy};
+  job_b.run_iterations(2);
+
+  EXPECT_GT(job_a.steady_samples_per_sec(), job_b.steady_samples_per_sec());
+}
+
+TEST(TrainingJob, DualTorSurvivesSingleLinkFailure) {
+  Rig rig;
+  const auto plan = workload::ParallelismPlanner{rig.c}.plan(8, 2, 2);
+  ctrl::FabricController fabric{rig.c, rig.s, rig.r, {}};
+  TrainingJob job{rig.c, rig.s, rig.fs, rig.cm, plan, fast_model()};
+  job.run_iterations(1);
+  const double before = job.steady_samples_per_sec(1);
+
+  fabric.fail_access(plan.hosts[0], 0, 0);
+  job.on_fabric_change();
+  const int done = job.run_iterations(2);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(job.state(), JobState::kRunning);
+  const double after = job.steady_samples_per_sec(1);
+  // Degraded (one of 16 ports gone) but nowhere near halted.
+  EXPECT_GT(after, before * 0.6);
+}
+
+TEST(TrainingJob, SingleTorLinkFailureCrashesAfterTimeout) {
+  auto cfg = HpnConfig::tiny();
+  cfg.dual_tor = false;
+  Rig rig{cfg};
+  const auto plan = workload::ParallelismPlanner{rig.c}.plan(8, 2, 2);
+  ctrl::FabricController fabric{rig.c, rig.s, rig.r, {}};
+  TrainOptions opts;
+  opts.comm_timeout = Duration::seconds(2.0);  // short NCCL timeout for test
+  TrainingJob job{rig.c, rig.s, rig.fs, rig.cm, plan, fast_model(), opts};
+  job.run_iterations(1);
+  ASSERT_EQ(job.state(), JobState::kRunning);
+
+  fabric.fail_access(plan.hosts[0], 0, 0);  // the rail's only port
+  job.on_fabric_change();
+  job.run_iterations(2);
+  EXPECT_EQ(job.state(), JobState::kCrashed);
+}
+
+TEST(TrainingJob, SingleTorRecoversIfRepairedBeforeTimeout) {
+  auto cfg = HpnConfig::tiny();
+  cfg.dual_tor = false;
+  Rig rig{cfg};
+  const auto plan = workload::ParallelismPlanner{rig.c}.plan(8, 2, 2);
+  ctrl::FabricController fabric{rig.c, rig.s, rig.r, {}};
+  TrainOptions opts;
+  opts.comm_timeout = Duration::seconds(30.0);
+  TrainingJob job{rig.c, rig.s, rig.fs, rig.cm, plan, fast_model(), opts};
+  job.run_iterations(1);
+
+  // Fail, then auto-repair well inside the timeout.
+  fabric.flap_access(plan.hosts[0], 0, 0, Duration::seconds(1.0));
+  job.on_fabric_change();
+  const int done = job.run_iterations(2);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(job.state(), JobState::kRunning);
+}
+
+}  // namespace
+}  // namespace hpn::train
+// --- MoE training (§10) -------------------------------------------------------
+namespace hpn::train {
+namespace {
+
+TEST(TrainingJobMoe, ExpertAllToAllRunsPerIteration) {
+  Rig rig;
+  const auto plan = workload::ParallelismPlanner{rig.c}.plan(8, 1, 4);
+  auto model = workload::moe_8x7b();
+  model.compute_per_iteration = Duration::millis(80);
+  model.traffic.dp_all_reduce = DataSize::megabytes(16);
+  TrainingJob job{rig.c, rig.s, rig.fs, rig.cm, plan, model};
+  EXPECT_EQ(job.run_iterations(3), 3);
+  EXPECT_EQ(job.state(), JobState::kRunning);
+  // MoE AllToAll adds exposed communication beyond the dense equivalent.
+  Rig rig2;
+  const auto plan2 = workload::ParallelismPlanner{rig2.c}.plan(8, 1, 4);
+  auto dense = model;
+  dense.traffic.moe_all_to_all = DataSize::zero();
+  TrainingJob dense_job{rig2.c, rig2.s, rig2.fs, rig2.cm, plan2, dense};
+  dense_job.run_iterations(3);
+  EXPECT_GT(dense_job.steady_samples_per_sec(2), job.steady_samples_per_sec(2));
+}
+
+TEST(TrainingJobMoe, WorksOnRailOnlyViaHostRelay) {
+  auto cfg = topo::HpnConfig::tiny();
+  cfg.rail_only_tier2 = true;
+  topo::Cluster c = topo::build_hpn(cfg);
+  sim::Simulator s;
+  flowsim::FlowSession fs{c.topo, s};
+  routing::Router r{c.topo};
+  ccl::ConnectionManager cm{c, r};
+  const auto plan = workload::ParallelismPlanner{c}.plan(8, 1, 4);
+  auto model = workload::moe_8x7b();
+  model.compute_per_iteration = Duration::millis(80);
+  model.traffic.dp_all_reduce = DataSize::megabytes(16);
+  TrainingJob job{c, s, fs, cm, plan, model};
+  EXPECT_EQ(job.run_iterations(2), 2) << "PXN relay keeps MoE alive on rail-only";
+}
+
+}  // namespace
+}  // namespace hpn::train

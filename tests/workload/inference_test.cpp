@@ -1,0 +1,110 @@
+#include "workload/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+
+namespace hpn::workload {
+namespace {
+
+using topo::Cluster;
+using topo::HpnConfig;
+
+struct Rig {
+  Cluster c = topo::build_hpn(HpnConfig::tiny());
+  std::vector<topo::StorageHost> storage = topo::attach_frontend(c);
+  sim::Simulator s;
+  flowsim::FlowSession fs{c.topo, s};
+  routing::Router r{c.topo};
+
+  std::vector<NodeId> gateways() const {
+    std::vector<NodeId> out;
+    for (const auto& sh : storage) out.push_back(sh.host);
+    return out;
+  }
+};
+
+TEST(Inference, RequestsCompleteWithSaneLatency) {
+  Rig rig;
+  InferenceConfig cfg;
+  cfg.requests_per_sec = 500.0;
+  InferenceService svc{rig.c, rig.s, rig.fs, rig.r, {0, 1, 2, 3}, rig.gateways(), cfg};
+  svc.start();
+  rig.s.run_until(TimePoint::origin() + Duration::seconds(2.0));
+  svc.stop();
+  rig.s.run();
+  EXPECT_EQ(svc.dropped(), 0);
+  EXPECT_GT(svc.completed(), 500);
+  // Latency ~ compute (150ms mean) + transfer (2MB @ <=200G ~ 0.1ms).
+  EXPECT_GT(svc.latencies().median(), 0.05);
+  EXPECT_LT(svc.latencies().median(), 0.5);
+  EXPECT_LT(svc.latencies().quantile(0.99), 2.0);
+}
+
+TEST(Inference, ThroughputTracksArrivalRate) {
+  Rig rig;
+  InferenceConfig cfg;
+  cfg.requests_per_sec = 1'000.0;
+  cfg.compute_mean = Duration::millis(20);
+  InferenceService svc{rig.c, rig.s, rig.fs, rig.r, {0, 1, 2, 3, 4, 5, 6, 7},
+                       rig.gateways(), cfg};
+  svc.start();
+  rig.s.run_until(TimePoint::origin() + Duration::seconds(4.0));
+  svc.stop();
+  rig.s.run();
+  EXPECT_NEAR(svc.completed() / 4.0, 1'000.0, 120.0);
+}
+
+TEST(Inference, RequiresFrontend) {
+  Cluster c = topo::build_hpn(HpnConfig::tiny());  // no frontend
+  sim::Simulator s;
+  flowsim::FlowSession fs{c.topo, s};
+  routing::Router r{c.topo};
+  EXPECT_THROW((InferenceService{c, s, fs, r, {0}, {NodeId{0}}}), CheckError);
+}
+
+TEST(Inference, StopCancelsArrivals) {
+  Rig rig;
+  InferenceService svc{rig.c, rig.s, rig.fs, rig.r, {0}, rig.gateways()};
+  svc.start();
+  svc.stop();
+  rig.s.run();
+  EXPECT_EQ(svc.completed(), 0);
+}
+
+TEST(Inference, IsolatedFromBackendTraining) {
+  // §8: inference rides the frontend; a saturated backend cannot touch its
+  // latency. Run the service with and without heavy backend elephants.
+  auto run_with_backend_load = [](bool load) {
+    Rig rig;
+    if (load) {
+      // Saturate every backend access link of the serving hosts.
+      for (int h = 0; h < 4; ++h) {
+        for (int rail = 0; rail < 8; ++rail) {
+          const auto& att = rig.c.hosts[static_cast<std::size_t>(h)]
+                                .nics[static_cast<std::size_t>(rail)];
+          const auto& peer = rig.c.hosts[static_cast<std::size_t>(h + 4)]
+                                 .nics[static_cast<std::size_t>(rail)];
+          const routing::Path p = rig.r.trace(
+              att.nic, peer.nic,
+              routing::FiveTuple{.src_ip = att.nic.value(), .dst_ip = peer.nic.value()});
+          rig.fs.start_flow(p.links, DataSize::gigabytes(100), Bandwidth::gbps(400));
+        }
+      }
+    }
+    InferenceConfig cfg;
+    cfg.requests_per_sec = 400.0;
+    cfg.seed = 7;
+    InferenceService svc{rig.c, rig.s, rig.fs, rig.r, {0, 1, 2, 3}, rig.gateways(), cfg};
+    svc.start();
+    rig.s.run_until(TimePoint::origin() + Duration::seconds(2.0));
+    svc.stop();
+    return svc.latencies().median();
+  };
+  const double clean = run_with_backend_load(false);
+  const double loaded = run_with_backend_load(true);
+  EXPECT_NEAR(loaded, clean, clean * 0.02) << "frontend must be isolated from backend";
+}
+
+}  // namespace
+}  // namespace hpn::workload

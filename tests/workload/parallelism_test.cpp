@@ -1,0 +1,100 @@
+#include "workload/parallelism.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builders.h"
+
+namespace hpn::workload {
+namespace {
+
+using topo::Cluster;
+using topo::HpnConfig;
+
+TEST(Parallelism, PlanShape) {
+  const Cluster c = topo::build_hpn(HpnConfig::tiny());
+  ParallelismPlanner planner{c};
+  const PlacementPlan plan = planner.plan(/*tp=*/8, /*pp=*/2, /*dp=*/3);
+  EXPECT_EQ(plan.world_size(), 48);
+  EXPECT_EQ(plan.hosts.size(), 6u);
+  EXPECT_EQ(plan.tp_groups.size(), 6u);
+  EXPECT_EQ(plan.dp_groups.size(), 2u);          // one per stage
+  EXPECT_EQ(plan.dp_groups[0].size(), 3u * 8u);  // dp replicas x rails
+  EXPECT_EQ(plan.pp_pairs.size(), 3u);           // (pp-1) x dp
+}
+
+TEST(Parallelism, TpGroupsAreWholeHosts) {
+  const Cluster c = topo::build_hpn(HpnConfig::tiny());
+  const PlacementPlan plan = ParallelismPlanner{c}.plan(8, 2, 2);
+  for (const auto& group : plan.tp_groups) {
+    ASSERT_EQ(group.size(), 8u);
+    const int host = group[0] / 8;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(group[i], host * 8 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(Parallelism, DpReplicasAreAdjacentHosts) {
+  // Stage-major layout: DP replicas of one stage occupy consecutive hosts,
+  // keeping the heavy gradient AllReduce low-tier.
+  const Cluster c = topo::build_hpn(HpnConfig::tiny());
+  const PlacementPlan plan = ParallelismPlanner{c}.plan(8, 2, 4);
+  for (std::size_t s = 0; s < plan.dp_groups.size(); ++s) {
+    std::set<int> hosts;
+    for (const int rank : plan.dp_groups[s]) hosts.insert(rank / 8);
+    const int lo = *hosts.begin();
+    const int hi = *hosts.rbegin();
+    EXPECT_EQ(hi - lo, 3) << "replica hosts should be contiguous";
+  }
+}
+
+TEST(Parallelism, PpPairsConnectConsecutiveStages) {
+  const Cluster c = topo::build_hpn(HpnConfig::tiny());
+  const PlacementPlan plan = ParallelismPlanner{c}.plan(8, 2, 2);
+  for (const auto& [src, dst] : plan.pp_pairs) {
+    // Same replica, stage s -> s+1: hosts differ by dp.
+    EXPECT_EQ(dst / 8 - src / 8, 2);
+  }
+}
+
+TEST(Parallelism, SkipsBackupHosts) {
+  auto cfg = HpnConfig::tiny();
+  cfg.backup_hosts_per_segment = 1;
+  const Cluster c = topo::build_hpn(cfg);
+  ParallelismPlanner planner{c};
+  const auto active = planner.active_hosts();
+  EXPECT_EQ(active.size(), 8u);  // 2 x (4 active), backups excluded
+  const PlacementPlan plan = planner.plan(8, 2, 4);
+  for (const int h : plan.hosts) {
+    EXPECT_FALSE(c.hosts[static_cast<std::size_t>(h)].backup);
+  }
+}
+
+TEST(Parallelism, RejectsWrongTp) {
+  const Cluster c = topo::build_hpn(HpnConfig::tiny());
+  EXPECT_THROW(ParallelismPlanner{c}.plan(4, 1, 1), CheckError);
+}
+
+TEST(Parallelism, RejectsOversizedJob) {
+  const Cluster c = topo::build_hpn(HpnConfig::tiny());
+  EXPECT_THROW(ParallelismPlanner{c}.plan(8, 4, 8), CheckError);  // 32 hosts > 8
+}
+
+TEST(Parallelism, ModelPresetsOrdered) {
+  // Larger models move more gradient data and compute longer.
+  const auto m7 = llama_7b();
+  const auto m13 = llama_13b();
+  const auto gpt = gpt3_175b();
+  EXPECT_LT(m7.traffic.dp_all_reduce.as_bits(), m13.traffic.dp_all_reduce.as_bits());
+  EXPECT_LT(m13.traffic.dp_all_reduce.as_bits(), gpt.traffic.dp_all_reduce.as_bits());
+  EXPECT_LT(m7.compute_per_iteration, gpt.compute_per_iteration);
+  // Table 3 exact volumes for GPT-3 175B.
+  EXPECT_DOUBLE_EQ(gpt.traffic.dp_all_reduce.as_gigabytes(), 5.5);
+  EXPECT_DOUBLE_EQ(gpt.traffic.pp_send.as_megabytes(), 6.0);
+  EXPECT_DOUBLE_EQ(gpt.traffic.tp_all_reduce.as_megabytes(), 560.0);
+}
+
+}  // namespace
+}  // namespace hpn::workload

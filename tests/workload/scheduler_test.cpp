@@ -1,0 +1,133 @@
+#include "workload/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "workload/traffic.h"
+
+namespace hpn::workload {
+namespace {
+
+using topo::Cluster;
+using topo::HpnConfig;
+
+Cluster small_cluster(int segments = 2, int hosts = 8, int backups = 0) {
+  auto cfg = HpnConfig::tiny();
+  cfg.segments_per_pod = segments;
+  cfg.hosts_per_segment = hosts;
+  cfg.backup_hosts_per_segment = backups;
+  return topo::build_hpn(cfg);
+}
+
+TEST(Scheduler, SingleSegmentJobStaysInOneSegment) {
+  const Cluster c = small_cluster();
+  ClusterScheduler sched{c};
+  const auto p = sched.allocate(32);  // 4 hosts <= 8 per segment
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hosts.size(), 4u);
+  EXPECT_EQ(p->segments_spanned, 1);
+  const int seg = c.hosts[static_cast<std::size_t>(p->hosts[0])].segment;
+  for (const int h : p->hosts) {
+    EXPECT_EQ(c.hosts[static_cast<std::size_t>(h)].segment, seg);
+  }
+}
+
+TEST(Scheduler, OversizeJobSpillsAcrossSegments) {
+  const Cluster c = small_cluster();
+  ClusterScheduler sched{c};
+  const auto p = sched.allocate(96);  // 12 hosts > 8 per segment
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hosts.size(), 12u);
+  EXPECT_EQ(p->segments_spanned, 2);
+}
+
+TEST(Scheduler, RefusesWhenFull) {
+  const Cluster c = small_cluster();
+  ClusterScheduler sched{c};
+  ASSERT_TRUE(sched.allocate(16 * 8).has_value());
+  EXPECT_FALSE(sched.allocate(8).has_value());
+  EXPECT_EQ(sched.free_hosts(), 0);
+}
+
+TEST(Scheduler, ReleaseReturnsCapacity) {
+  const Cluster c = small_cluster();
+  ClusterScheduler sched{c};
+  const auto p = sched.allocate(64);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(sched.free_hosts(), 8);
+  sched.release(p->id);
+  EXPECT_EQ(sched.free_hosts(), 16);
+  EXPECT_EQ(sched.running_jobs(), 0u);
+  EXPECT_THROW(sched.release(p->id), CheckError);
+}
+
+TEST(Scheduler, BestFitKeepsBigHolesOpen) {
+  // Two segments; a small job should best-fit into the emptier one after
+  // fragmentation, preserving a full segment for a big job.
+  const Cluster c = small_cluster();
+  ClusterScheduler sched{c};
+  const auto small1 = sched.allocate(16);  // 2 hosts
+  ASSERT_TRUE(small1.has_value());
+  const auto small2 = sched.allocate(16);  // should land in the same segment
+  ASSERT_TRUE(small2.has_value());
+  EXPECT_EQ(c.hosts[static_cast<std::size_t>(small1->hosts[0])].segment,
+            c.hosts[static_cast<std::size_t>(small2->hosts[0])].segment);
+  const auto big = sched.allocate(64);  // a full segment must still exist
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->segments_spanned, 1);
+}
+
+TEST(Scheduler, BackupHostsNotSchedulable) {
+  const Cluster c = small_cluster(1, 4, 2);
+  ClusterScheduler sched{c};
+  EXPECT_EQ(sched.free_hosts(), 4);  // 2 backups excluded
+  const auto p = sched.allocate(4 * 8);
+  ASSERT_TRUE(p.has_value());
+  for (const int h : p->hosts) {
+    EXPECT_FALSE(c.hosts[static_cast<std::size_t>(h)].backup);
+  }
+}
+
+// The §3 claim as a statistical property: with HPN-sized segments almost
+// every production job fits one segment; with DCN+-sized segments almost
+// none of the big ones do.
+TEST(Scheduler, SegmentSizeDrivesLocality) {
+  JobSizeModel sizes{21};
+  auto fraction_single_segment = [&](int hosts_per_segment, int segments) {
+    auto cfg = HpnConfig::tiny();
+    cfg.hosts_per_segment = hosts_per_segment;
+    cfg.segments_per_pod = segments;
+    cfg.tor_uplinks = segments > 1 ? 4 : 60;
+    cfg.aggs_per_plane = segments > 1 ? 4 : 60;
+    const Cluster c = topo::build_hpn(cfg);
+    ClusterScheduler sched{c};
+    JobSizeModel model{21};  // same stream for both fabrics
+    int single = 0, placed = 0;
+    std::vector<JobId> running;
+    for (int i = 0; i < 300; ++i) {
+      const int gpus = model.sample_gpus();
+      auto p = sched.allocate(gpus);
+      if (!p.has_value()) {
+        // Drain everything and retry (batch scheduler behavior).
+        for (const JobId id : running) sched.release(id);
+        running.clear();
+        p = sched.allocate(gpus);
+        if (!p.has_value()) continue;  // bigger than the whole cluster
+      }
+      running.push_back(p->id);
+      ++placed;
+      single += p->segments_spanned == 1;
+    }
+    return placed ? static_cast<double>(single) / placed : 0.0;
+  };
+
+  // HPN-shaped: 128-host (1024-GPU) segments. DCN+-shaped: 16-host ones.
+  const double hpn = fraction_single_segment(128, 2);
+  const double dcn = fraction_single_segment(16, 16);
+  EXPECT_GT(hpn, 0.9);   // paper: 96.3%
+  EXPECT_LT(dcn, 0.75);  // most nontrivial jobs cross segments
+  EXPECT_GT(hpn, dcn + 0.2);
+}
+
+}  // namespace
+}  // namespace hpn::workload
