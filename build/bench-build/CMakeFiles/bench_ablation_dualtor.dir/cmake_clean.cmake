@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dualtor"
+  "../bench/bench_ablation_dualtor.pdb"
+  "CMakeFiles/bench_ablation_dualtor.dir/ablation_dualtor.cpp.o"
+  "CMakeFiles/bench_ablation_dualtor.dir/ablation_dualtor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dualtor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_moe_railonly"
+  "../bench/bench_ablation_moe_railonly.pdb"
+  "CMakeFiles/bench_ablation_moe_railonly.dir/ablation_moe_railonly.cpp.o"
+  "CMakeFiles/bench_ablation_moe_railonly.dir/ablation_moe_railonly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_moe_railonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

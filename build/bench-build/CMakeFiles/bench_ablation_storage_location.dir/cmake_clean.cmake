@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_storage_location"
+  "../bench/bench_ablation_storage_location.pdb"
+  "CMakeFiles/bench_ablation_storage_location.dir/ablation_storage_location.cpp.o"
+  "CMakeFiles/bench_ablation_storage_location.dir/ablation_storage_location.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_storage_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

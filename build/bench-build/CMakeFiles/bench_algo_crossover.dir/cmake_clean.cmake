@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_algo_crossover"
+  "../bench/bench_algo_crossover.pdb"
+  "CMakeFiles/bench_algo_crossover.dir/algo_crossover.cpp.o"
+  "CMakeFiles/bench_algo_crossover.dir/algo_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

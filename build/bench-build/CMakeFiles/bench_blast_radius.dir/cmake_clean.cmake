@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_blast_radius"
+  "../bench/bench_blast_radius.pdb"
+  "CMakeFiles/bench_blast_radius.dir/blast_radius.cpp.o"
+  "CMakeFiles/bench_blast_radius.dir/blast_radius.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blast_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_cloud_traffic"
+  "../bench/bench_fig01_cloud_traffic.pdb"
+  "CMakeFiles/bench_fig01_cloud_traffic.dir/fig01_cloud_traffic.cpp.o"
+  "CMakeFiles/bench_fig01_cloud_traffic.dir/fig01_cloud_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_cloud_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_nic_bursts"
+  "../bench/bench_fig02_nic_bursts.pdb"
+  "CMakeFiles/bench_fig02_nic_bursts.dir/fig02_nic_bursts.cpp.o"
+  "CMakeFiles/bench_fig02_nic_bursts.dir/fig02_nic_bursts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_nic_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

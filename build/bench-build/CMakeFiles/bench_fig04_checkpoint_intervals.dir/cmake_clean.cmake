@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_checkpoint_intervals"
+  "../bench/bench_fig04_checkpoint_intervals.pdb"
+  "CMakeFiles/bench_fig04_checkpoint_intervals.dir/fig04_checkpoint_intervals.cpp.o"
+  "CMakeFiles/bench_fig04_checkpoint_intervals.dir/fig04_checkpoint_intervals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_checkpoint_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

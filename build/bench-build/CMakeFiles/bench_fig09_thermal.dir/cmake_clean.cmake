@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_thermal"
+  "../bench/bench_fig09_thermal.pdb"
+  "CMakeFiles/bench_fig09_thermal.dir/fig09_thermal.cpp.o"
+  "CMakeFiles/bench_fig09_thermal.dir/fig09_thermal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_14_dualplane_queues"
+  "../bench/bench_fig13_14_dualplane_queues.pdb"
+  "CMakeFiles/bench_fig13_14_dualplane_queues.dir/fig13_14_dualplane_queues.cpp.o"
+  "CMakeFiles/bench_fig13_14_dualplane_queues.dir/fig13_14_dualplane_queues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_dualplane_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

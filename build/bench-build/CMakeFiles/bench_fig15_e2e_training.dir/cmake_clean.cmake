@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_e2e_training"
+  "../bench/bench_fig15_e2e_training.pdb"
+  "CMakeFiles/bench_fig15_e2e_training.dir/fig15_e2e_training.cpp.o"
+  "CMakeFiles/bench_fig15_e2e_training.dir/fig15_e2e_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_e2e_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_collectives"
+  "../bench/bench_fig17_collectives.pdb"
+  "CMakeFiles/bench_fig17_collectives.dir/fig17_collectives.cpp.o"
+  "CMakeFiles/bench_fig17_collectives.dir/fig17_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_reliability"
+  "../bench/bench_fig18_reliability.pdb"
+  "CMakeFiles/bench_fig18_reliability.dir/fig18_reliability.cpp.o"
+  "CMakeFiles/bench_fig18_reliability.dir/fig18_reliability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_dualplane_allreduce"
+  "../bench/bench_fig19_dualplane_allreduce.pdb"
+  "CMakeFiles/bench_fig19_dualplane_allreduce.dir/fig19_dualplane_allreduce.cpp.o"
+  "CMakeFiles/bench_fig19_dualplane_allreduce.dir/fig19_dualplane_allreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_dualplane_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lb_policies"
+  "../bench/bench_lb_policies.pdb"
+  "CMakeFiles/bench_lb_policies.dir/lb_policies.cpp.o"
+  "CMakeFiles/bench_lb_policies.dir/lb_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

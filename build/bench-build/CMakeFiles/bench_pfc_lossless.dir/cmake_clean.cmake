@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pfc_lossless"
+  "../bench/bench_pfc_lossless.pdb"
+  "CMakeFiles/bench_pfc_lossless.dir/pfc_lossless.cpp.o"
+  "CMakeFiles/bench_pfc_lossless.dir/pfc_lossless.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pfc_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

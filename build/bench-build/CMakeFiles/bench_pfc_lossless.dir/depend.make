@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pfc_lossless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_job_locality"
+  "../bench/bench_sec3_job_locality.pdb"
+  "CMakeFiles/bench_sec3_job_locality.dir/sec3_job_locality.cpp.o"
+  "CMakeFiles/bench_sec3_job_locality.dir/sec3_job_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_job_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

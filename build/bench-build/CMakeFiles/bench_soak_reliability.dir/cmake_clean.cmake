@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_soak_reliability"
+  "../bench/bench_soak_reliability.pdb"
+  "CMakeFiles/bench_soak_reliability.dir/soak_reliability.cpp.o"
+  "CMakeFiles/bench_soak_reliability.dir/soak_reliability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soak_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_scale"
+  "../bench/bench_table2_scale.pdb"
+  "CMakeFiles/bench_table2_scale.dir/table2_scale.cpp.o"
+  "CMakeFiles/bench_table2_scale.dir/table2_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_parallelism_traffic"
+  "../bench/bench_table3_parallelism_traffic.pdb"
+  "CMakeFiles/bench_table3_parallelism_traffic.dir/table3_parallelism_traffic.cpp.o"
+  "CMakeFiles/bench_table3_parallelism_traffic.dir/table3_parallelism_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parallelism_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

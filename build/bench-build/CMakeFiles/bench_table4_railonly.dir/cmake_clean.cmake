@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_railonly"
+  "../bench/bench_table4_railonly.pdb"
+  "CMakeFiles/bench_table4_railonly.dir/table4_railonly.cpp.o"
+  "CMakeFiles/bench_table4_railonly.dir/table4_railonly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_railonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpnsim_cli.dir/hpnsim_cli.cpp.o"
+  "CMakeFiles/hpnsim_cli.dir/hpnsim_cli.cpp.o.d"
+  "hpnsim_cli"
+  "hpnsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpnsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

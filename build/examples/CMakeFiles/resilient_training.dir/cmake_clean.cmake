@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_training.dir/resilient_training.cpp.o"
+  "CMakeFiles/resilient_training.dir/resilient_training.cpp.o.d"
+  "resilient_training"
+  "resilient_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

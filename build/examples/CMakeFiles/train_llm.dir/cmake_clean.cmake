@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_llm.dir/train_llm.cpp.o"
+  "CMakeFiles/train_llm.dir/train_llm.cpp.o.d"
+  "train_llm"
+  "train_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccl/communicator.cpp" "src/ccl/CMakeFiles/hpn_ccl.dir/communicator.cpp.o" "gcc" "src/ccl/CMakeFiles/hpn_ccl.dir/communicator.cpp.o.d"
+  "/root/repo/src/ccl/connection.cpp" "src/ccl/CMakeFiles/hpn_ccl.dir/connection.cpp.o" "gcc" "src/ccl/CMakeFiles/hpn_ccl.dir/connection.cpp.o.d"
+  "/root/repo/src/ccl/pipeline.cpp" "src/ccl/CMakeFiles/hpn_ccl.dir/pipeline.cpp.o" "gcc" "src/ccl/CMakeFiles/hpn_ccl.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hpn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hpn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/hpn_flowsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_ccl.dir/communicator.cpp.o"
+  "CMakeFiles/hpn_ccl.dir/communicator.cpp.o.d"
+  "CMakeFiles/hpn_ccl.dir/connection.cpp.o"
+  "CMakeFiles/hpn_ccl.dir/connection.cpp.o.d"
+  "CMakeFiles/hpn_ccl.dir/pipeline.cpp.o"
+  "CMakeFiles/hpn_ccl.dir/pipeline.cpp.o.d"
+  "libhpn_ccl.a"
+  "libhpn_ccl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_ccl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_common.dir/log.cpp.o"
+  "CMakeFiles/hpn_common.dir/log.cpp.o.d"
+  "CMakeFiles/hpn_common.dir/units.cpp.o"
+  "CMakeFiles/hpn_common.dir/units.cpp.o.d"
+  "libhpn_common.a"
+  "libhpn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

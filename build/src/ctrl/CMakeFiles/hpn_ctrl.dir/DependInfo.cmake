@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/bgp.cpp" "src/ctrl/CMakeFiles/hpn_ctrl.dir/bgp.cpp.o" "gcc" "src/ctrl/CMakeFiles/hpn_ctrl.dir/bgp.cpp.o.d"
+  "/root/repo/src/ctrl/dualtor.cpp" "src/ctrl/CMakeFiles/hpn_ctrl.dir/dualtor.cpp.o" "gcc" "src/ctrl/CMakeFiles/hpn_ctrl.dir/dualtor.cpp.o.d"
+  "/root/repo/src/ctrl/fabric_controller.cpp" "src/ctrl/CMakeFiles/hpn_ctrl.dir/fabric_controller.cpp.o" "gcc" "src/ctrl/CMakeFiles/hpn_ctrl.dir/fabric_controller.cpp.o.d"
+  "/root/repo/src/ctrl/health_monitor.cpp" "src/ctrl/CMakeFiles/hpn_ctrl.dir/health_monitor.cpp.o" "gcc" "src/ctrl/CMakeFiles/hpn_ctrl.dir/health_monitor.cpp.o.d"
+  "/root/repo/src/ctrl/lacp.cpp" "src/ctrl/CMakeFiles/hpn_ctrl.dir/lacp.cpp.o" "gcc" "src/ctrl/CMakeFiles/hpn_ctrl.dir/lacp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hpn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hpn_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

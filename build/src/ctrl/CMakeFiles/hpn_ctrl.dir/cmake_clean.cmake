@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_ctrl.dir/bgp.cpp.o"
+  "CMakeFiles/hpn_ctrl.dir/bgp.cpp.o.d"
+  "CMakeFiles/hpn_ctrl.dir/dualtor.cpp.o"
+  "CMakeFiles/hpn_ctrl.dir/dualtor.cpp.o.d"
+  "CMakeFiles/hpn_ctrl.dir/fabric_controller.cpp.o"
+  "CMakeFiles/hpn_ctrl.dir/fabric_controller.cpp.o.d"
+  "CMakeFiles/hpn_ctrl.dir/health_monitor.cpp.o"
+  "CMakeFiles/hpn_ctrl.dir/health_monitor.cpp.o.d"
+  "CMakeFiles/hpn_ctrl.dir/lacp.cpp.o"
+  "CMakeFiles/hpn_ctrl.dir/lacp.cpp.o.d"
+  "libhpn_ctrl.a"
+  "libhpn_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

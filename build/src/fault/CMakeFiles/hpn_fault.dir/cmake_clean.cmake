@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_fault.dir/checkpoint.cpp.o"
+  "CMakeFiles/hpn_fault.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hpn_fault.dir/failure_injector.cpp.o"
+  "CMakeFiles/hpn_fault.dir/failure_injector.cpp.o.d"
+  "libhpn_fault.a"
+  "libhpn_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

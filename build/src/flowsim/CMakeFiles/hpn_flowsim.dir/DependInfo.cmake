@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowsim/fluid.cpp" "src/flowsim/CMakeFiles/hpn_flowsim.dir/fluid.cpp.o" "gcc" "src/flowsim/CMakeFiles/hpn_flowsim.dir/fluid.cpp.o.d"
+  "/root/repo/src/flowsim/maxmin.cpp" "src/flowsim/CMakeFiles/hpn_flowsim.dir/maxmin.cpp.o" "gcc" "src/flowsim/CMakeFiles/hpn_flowsim.dir/maxmin.cpp.o.d"
+  "/root/repo/src/flowsim/packet.cpp" "src/flowsim/CMakeFiles/hpn_flowsim.dir/packet.cpp.o" "gcc" "src/flowsim/CMakeFiles/hpn_flowsim.dir/packet.cpp.o.d"
+  "/root/repo/src/flowsim/session.cpp" "src/flowsim/CMakeFiles/hpn_flowsim.dir/session.cpp.o" "gcc" "src/flowsim/CMakeFiles/hpn_flowsim.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hpn_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_flowsim.dir/fluid.cpp.o"
+  "CMakeFiles/hpn_flowsim.dir/fluid.cpp.o.d"
+  "CMakeFiles/hpn_flowsim.dir/maxmin.cpp.o"
+  "CMakeFiles/hpn_flowsim.dir/maxmin.cpp.o.d"
+  "CMakeFiles/hpn_flowsim.dir/packet.cpp.o"
+  "CMakeFiles/hpn_flowsim.dir/packet.cpp.o.d"
+  "CMakeFiles/hpn_flowsim.dir/session.cpp.o"
+  "CMakeFiles/hpn_flowsim.dir/session.cpp.o.d"
+  "libhpn_flowsim.a"
+  "libhpn_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_metrics.dir/registry.cpp.o"
+  "CMakeFiles/hpn_metrics.dir/registry.cpp.o.d"
+  "CMakeFiles/hpn_metrics.dir/stats.cpp.o"
+  "CMakeFiles/hpn_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/hpn_metrics.dir/table.cpp.o"
+  "CMakeFiles/hpn_metrics.dir/table.cpp.o.d"
+  "CMakeFiles/hpn_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/hpn_metrics.dir/timeseries.cpp.o.d"
+  "libhpn_metrics.a"
+  "libhpn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/hash.cpp" "src/routing/CMakeFiles/hpn_routing.dir/hash.cpp.o" "gcc" "src/routing/CMakeFiles/hpn_routing.dir/hash.cpp.o.d"
+  "/root/repo/src/routing/int_probe.cpp" "src/routing/CMakeFiles/hpn_routing.dir/int_probe.cpp.o" "gcc" "src/routing/CMakeFiles/hpn_routing.dir/int_probe.cpp.o.d"
+  "/root/repo/src/routing/load_analyzer.cpp" "src/routing/CMakeFiles/hpn_routing.dir/load_analyzer.cpp.o" "gcc" "src/routing/CMakeFiles/hpn_routing.dir/load_analyzer.cpp.o.d"
+  "/root/repo/src/routing/repac.cpp" "src/routing/CMakeFiles/hpn_routing.dir/repac.cpp.o" "gcc" "src/routing/CMakeFiles/hpn_routing.dir/repac.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/routing/CMakeFiles/hpn_routing.dir/router.cpp.o" "gcc" "src/routing/CMakeFiles/hpn_routing.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hpn_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

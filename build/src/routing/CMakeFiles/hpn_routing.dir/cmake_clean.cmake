@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_routing.dir/hash.cpp.o"
+  "CMakeFiles/hpn_routing.dir/hash.cpp.o.d"
+  "CMakeFiles/hpn_routing.dir/int_probe.cpp.o"
+  "CMakeFiles/hpn_routing.dir/int_probe.cpp.o.d"
+  "CMakeFiles/hpn_routing.dir/load_analyzer.cpp.o"
+  "CMakeFiles/hpn_routing.dir/load_analyzer.cpp.o.d"
+  "CMakeFiles/hpn_routing.dir/repac.cpp.o"
+  "CMakeFiles/hpn_routing.dir/repac.cpp.o.d"
+  "CMakeFiles/hpn_routing.dir/router.cpp.o"
+  "CMakeFiles/hpn_routing.dir/router.cpp.o.d"
+  "libhpn_routing.a"
+  "libhpn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

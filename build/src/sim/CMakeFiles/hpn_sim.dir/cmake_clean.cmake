@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hpn_sim.dir/simulator.cpp.o.d"
+  "libhpn_sim.a"
+  "libhpn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_thermal.dir/thermal.cpp.o"
+  "CMakeFiles/hpn_thermal.dir/thermal.cpp.o.d"
+  "libhpn_thermal.a"
+  "libhpn_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpn_thermal.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/blast_radius.cpp" "src/topo/CMakeFiles/hpn_topo.dir/blast_radius.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/blast_radius.cpp.o.d"
+  "/root/repo/src/topo/cluster.cpp" "src/topo/CMakeFiles/hpn_topo.dir/cluster.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/cluster.cpp.o.d"
+  "/root/repo/src/topo/dcn_builder.cpp" "src/topo/CMakeFiles/hpn_topo.dir/dcn_builder.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/dcn_builder.cpp.o.d"
+  "/root/repo/src/topo/export.cpp" "src/topo/CMakeFiles/hpn_topo.dir/export.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/export.cpp.o.d"
+  "/root/repo/src/topo/fattree_builder.cpp" "src/topo/CMakeFiles/hpn_topo.dir/fattree_builder.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/fattree_builder.cpp.o.d"
+  "/root/repo/src/topo/frontend.cpp" "src/topo/CMakeFiles/hpn_topo.dir/frontend.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/frontend.cpp.o.d"
+  "/root/repo/src/topo/hpn_builder.cpp" "src/topo/CMakeFiles/hpn_topo.dir/hpn_builder.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/hpn_builder.cpp.o.d"
+  "/root/repo/src/topo/scale.cpp" "src/topo/CMakeFiles/hpn_topo.dir/scale.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/scale.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/hpn_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/validate.cpp" "src/topo/CMakeFiles/hpn_topo.dir/validate.cpp.o" "gcc" "src/topo/CMakeFiles/hpn_topo.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

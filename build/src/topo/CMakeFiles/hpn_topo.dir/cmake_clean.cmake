@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_topo.dir/blast_radius.cpp.o"
+  "CMakeFiles/hpn_topo.dir/blast_radius.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/cluster.cpp.o"
+  "CMakeFiles/hpn_topo.dir/cluster.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/dcn_builder.cpp.o"
+  "CMakeFiles/hpn_topo.dir/dcn_builder.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/export.cpp.o"
+  "CMakeFiles/hpn_topo.dir/export.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/fattree_builder.cpp.o"
+  "CMakeFiles/hpn_topo.dir/fattree_builder.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/frontend.cpp.o"
+  "CMakeFiles/hpn_topo.dir/frontend.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/hpn_builder.cpp.o"
+  "CMakeFiles/hpn_topo.dir/hpn_builder.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/scale.cpp.o"
+  "CMakeFiles/hpn_topo.dir/scale.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/topology.cpp.o"
+  "CMakeFiles/hpn_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/hpn_topo.dir/validate.cpp.o"
+  "CMakeFiles/hpn_topo.dir/validate.cpp.o.d"
+  "libhpn_topo.a"
+  "libhpn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

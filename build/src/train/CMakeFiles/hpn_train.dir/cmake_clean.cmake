@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_train.dir/resilient_trainer.cpp.o"
+  "CMakeFiles/hpn_train.dir/resilient_trainer.cpp.o.d"
+  "CMakeFiles/hpn_train.dir/training_job.cpp.o"
+  "CMakeFiles/hpn_train.dir/training_job.cpp.o.d"
+  "libhpn_train.a"
+  "libhpn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpn_workload.dir/inference.cpp.o"
+  "CMakeFiles/hpn_workload.dir/inference.cpp.o.d"
+  "CMakeFiles/hpn_workload.dir/parallelism.cpp.o"
+  "CMakeFiles/hpn_workload.dir/parallelism.cpp.o.d"
+  "CMakeFiles/hpn_workload.dir/scheduler.cpp.o"
+  "CMakeFiles/hpn_workload.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hpn_workload.dir/storage.cpp.o"
+  "CMakeFiles/hpn_workload.dir/storage.cpp.o.d"
+  "CMakeFiles/hpn_workload.dir/traffic.cpp.o"
+  "CMakeFiles/hpn_workload.dir/traffic.cpp.o.d"
+  "libhpn_workload.a"
+  "libhpn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctrl.dir/ctrl/bgp_test.cpp.o"
+  "CMakeFiles/test_ctrl.dir/ctrl/bgp_test.cpp.o.d"
+  "CMakeFiles/test_ctrl.dir/ctrl/dualtor_test.cpp.o"
+  "CMakeFiles/test_ctrl.dir/ctrl/dualtor_test.cpp.o.d"
+  "CMakeFiles/test_ctrl.dir/ctrl/fabric_controller_test.cpp.o"
+  "CMakeFiles/test_ctrl.dir/ctrl/fabric_controller_test.cpp.o.d"
+  "CMakeFiles/test_ctrl.dir/ctrl/health_monitor_test.cpp.o"
+  "CMakeFiles/test_ctrl.dir/ctrl/health_monitor_test.cpp.o.d"
+  "CMakeFiles/test_ctrl.dir/ctrl/lacp_test.cpp.o"
+  "CMakeFiles/test_ctrl.dir/ctrl/lacp_test.cpp.o.d"
+  "test_ctrl"
+  "test_ctrl.pdb"
+  "test_ctrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowsim.dir/flowsim/fluid_test.cpp.o"
+  "CMakeFiles/test_flowsim.dir/flowsim/fluid_test.cpp.o.d"
+  "CMakeFiles/test_flowsim.dir/flowsim/maxmin_test.cpp.o"
+  "CMakeFiles/test_flowsim.dir/flowsim/maxmin_test.cpp.o.d"
+  "CMakeFiles/test_flowsim.dir/flowsim/packet_test.cpp.o"
+  "CMakeFiles/test_flowsim.dir/flowsim/packet_test.cpp.o.d"
+  "CMakeFiles/test_flowsim.dir/flowsim/session_test.cpp.o"
+  "CMakeFiles/test_flowsim.dir/flowsim/session_test.cpp.o.d"
+  "test_flowsim"
+  "test_flowsim.pdb"
+  "test_flowsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/registry_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/registry_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/registry_test.cpp.o.d"
+  "/root/repo/tests/metrics/stats_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/stats_test.cpp.o.d"
+  "/root/repo/tests/metrics/table_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/table_test.cpp.o.d"
+  "/root/repo/tests/metrics/timeseries_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hpn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hpn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hpn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/hpn_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/hpn_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccl/CMakeFiles/hpn_ccl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hpn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/hpn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/hpn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/hpn_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

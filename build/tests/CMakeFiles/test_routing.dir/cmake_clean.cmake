@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/hash_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/hash_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/int_probe_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/int_probe_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/load_analyzer_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/load_analyzer_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/repac_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/repac_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/router_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/router_test.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

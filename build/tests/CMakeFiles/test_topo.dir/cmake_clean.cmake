@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/topo/blast_radius_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/blast_radius_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/builders_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/builders_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/export_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/export_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/frontend_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/frontend_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/scale_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/scale_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/topology_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/topology_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/validate_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/validate_test.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+  "test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train/resilient_trainer_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/resilient_trainer_test.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/training_job_test.cpp.o"
+  "CMakeFiles/test_train.dir/train/training_job_test.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+  "test_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
