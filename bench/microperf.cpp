@@ -7,6 +7,7 @@
 #include "flowsim/maxmin.h"
 #include "routing/router.h"
 #include "sim/simulator.h"
+#include "tests/support/reference_maxmin.h"
 #include "topo/builders.h"
 
 namespace {
@@ -73,6 +74,65 @@ void BM_MaxMinSolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flows.size()));
 }
 BENCHMARK(BM_MaxMinSolve)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_MaxMinSolveReference(benchmark::State& state) {
+  // The seed hash-map water-filler, kept as a test/bench oracle; same
+  // workload as BM_MaxMinSolve so the two report directly comparable times.
+  const auto flows_n = static_cast<std::size_t>(state.range(0));
+  static const topo::Cluster c = topo::build_hpn(topo::HpnConfig::tiny());
+  routing::Router r{c.topo};
+  std::vector<flowsim::FlowDemand> flows;
+  for (std::size_t i = 0; i < flows_n; ++i) {
+    const int src = static_cast<int>(i % 32);
+    const int dst = static_cast<int>((i + 32) % 64);
+    const routing::Path p =
+        r.trace(c.nic_of(src).nic, c.nic_of(dst).nic,
+                routing::FiveTuple{.src_ip = static_cast<std::uint32_t>(i), .dst_ip = 9});
+    if (!p.valid()) continue;
+    flows.push_back({.path = p.links, .cap_bps = 200e9});
+  }
+  flowsim::ReferenceMaxMinSolver solver{c.topo};
+  for (auto _ : state) {
+    auto copy = flows;
+    solver.solve(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_MaxMinSolveReference)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_MaxMinIncrementalFlip(benchmark::State& state) {
+  // Steady-state failure handling: one access cable flaps, only its
+  // conflict component is re-solved.
+  const auto flows_n = static_cast<std::size_t>(state.range(0));
+  static const topo::Cluster c = topo::build_hpn(topo::HpnConfig::tiny());
+  topo::Topology& topo = const_cast<topo::Cluster&>(c).topo;
+  routing::Router r{c.topo};
+  flowsim::IncrementalMaxMin inc{topo};
+  for (std::size_t i = 0; i < flows_n; ++i) {
+    const int src = static_cast<int>(i % 32);
+    const int dst = static_cast<int>((i + 32) % 64);
+    const routing::Path p =
+        r.trace(c.nic_of(src).nic, c.nic_of(dst).nic,
+                routing::FiveTuple{.src_ip = static_cast<std::uint32_t>(i), .dst_ip = 9});
+    if (!p.valid()) continue;
+    inc.add_flow(p.links, 200e9);
+  }
+  inc.resolve();
+  const LinkId access = c.nic_of(0).access[0];
+  const LinkId rev = topo.link(access).reverse;
+  bool up = false;
+  for (auto _ : state) {
+    topo.set_duplex_up(access, up);
+    inc.notify_link_changed(access);
+    inc.notify_link_changed(rev);
+    benchmark::DoNotOptimize(inc.resolve());
+    up = !up;
+  }
+  topo.set_duplex_up(access, true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaxMinIncrementalFlip)->Arg(512)->Arg(2048);
 
 void BM_DisjointPathPlanning(benchmark::State& state) {
   static const topo::Cluster c = topo::build_hpn(topo::HpnConfig::tiny());

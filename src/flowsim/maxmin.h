@@ -5,8 +5,27 @@
 // capacity. Per-flow caps are handled by treating each cap as a virtual
 // single-flow link. This is the steady-state model behind all throughput
 // benches (Figs 15-17, 19); queue *dynamics* live in fluid.h.
+//
+// Two engines share one dense water-filling core (detail::WaterFiller):
+//
+//  * MaxMinSolver — the stateless cold-solve API: rates for one flow set.
+//  * IncrementalMaxMin — keeps flow/link state alive across calls. Flow
+//    add/remove/reroute and link up/down flips mark links dirty; resolve()
+//    re-runs water-filling only over the connected component(s) of the
+//    flow-conflict graph (flows joined by shared links) that contain a
+//    dirty link. Untouched components provably keep their allocation, so a
+//    single access-link flip at Pod scale re-rates a handful of flows
+//    instead of re-solving 100K+ from zero.
+//
+// The core replaces the seed's per-solve unordered_map with flat vectors
+// indexed by LinkId, per-link active-flow lists, and a lazy min-heap of
+// link fair shares (shares only rise as flows fix, so stale entries are
+// re-pushed on inspection). Each round pops the bottleneck in O(log links)
+// and fixes that link's flows in bulk, instead of rescanning every link
+// and every flow.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -24,16 +43,160 @@ struct FlowDemand {
   double rate_bps = 0.0;
 };
 
+namespace detail {
+
+/// One flow as the water-filling core sees it. `rate_bps` is written in
+/// place so both solver front-ends can expose their own flow records.
+struct SolverItem {
+  const std::vector<LinkId>* path = nullptr;  ///< empty/null = host-local
+  double cap_bps = std::numeric_limits<double>::infinity();
+  double* rate_bps = nullptr;
+};
+
+/// Dense progressive water-filling. Holds per-link scratch (flat arrays
+/// indexed by LinkId, epoch-stamped so reuse costs O(touched links), a
+/// lazy min-heap of link fair shares, and per-link lists of unfixed
+/// flows). Semantics match the seed solver round for round: each round's
+/// share is min(link remaining/active, tightest unfixed cap); every flow
+/// on a link within kEps of that share (or capped within kEps) fixes.
+class WaterFiller {
+ public:
+  /// Fills `*rate_bps` for every item. Down links stall their flows at 0.
+  void run(const topo::Topology& topo, std::vector<SolverItem>& items);
+
+ private:
+  struct HeapEntry {
+    double share;
+    std::uint32_t slot;
+  };
+
+  /// Dense slot for a link touched by this run (assigns on first touch).
+  std::uint32_t touch(const topo::Topology& topo, LinkId link);
+  void fix(std::vector<SolverItem>& items, std::uint32_t i, double share,
+           std::size_t& unfixed);
+  void heap_push(double share, std::uint32_t slot);
+  void heap_pop();
+
+  // LinkId-indexed: dense slot of each link, valid when stamp matches.
+  std::vector<std::uint32_t> link_slot_;
+  std::vector<std::uint32_t> link_stamp_;
+  std::uint32_t stamp_ = 0;
+
+  // Slot-indexed link state for the current run.
+  std::vector<double> remaining_;
+  std::vector<std::int32_t> active_;
+  std::vector<std::vector<std::uint32_t>> slot_items_;  ///< item indexes
+  std::size_t slots_used_ = 0;
+
+  std::vector<HeapEntry> heap_;          ///< lazy min-heap on share
+  std::vector<std::uint32_t> cap_order_; ///< finite-cap items, cap ascending
+  std::vector<std::uint8_t> fixed_;
+};
+
+}  // namespace detail
+
+/// Stateless cold solve: rates for one flow set, from scratch.
 class MaxMinSolver {
  public:
   explicit MaxMinSolver(const topo::Topology& topology) : topo_{&topology} {}
 
   /// Fills `rate_bps` for every flow. Flows with empty paths get cap_bps
   /// (purely host-local transfers are only NIC/loopback-limited).
-  void solve(std::vector<FlowDemand>& flows) const;
+  void solve(std::vector<FlowDemand>& flows);
 
  private:
   const topo::Topology* topo_;
+  detail::WaterFiller filler_;
+  std::vector<detail::SolverItem> items_;
+};
+
+/// Persistent max-min state with component-scoped incremental re-solve.
+///
+/// Rates are valid after resolve() and stay valid until the flow set or
+/// link states change again. Link up/down flips are discovered either
+/// via notify_link_changed (targeted) or notify_topology_changed (an
+/// unknown set flipped: resolve() diffs the cached up/down state of every
+/// link that carries flows — O(active links), no topology scan).
+class IncrementalMaxMin {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kInvalidHandle = std::numeric_limits<Handle>::max();
+
+  explicit IncrementalMaxMin(const topo::Topology& topology) : topo_{&topology} {}
+
+  /// Registers a flow; its rate is available after the next resolve().
+  /// Empty-path flows rate immediately at cap (host-local transfers).
+  Handle add_flow(std::vector<LinkId> path, double cap_bps);
+  void remove_flow(Handle h);
+  /// Replace the path (port failover / reroute).
+  void set_path(Handle h, std::vector<LinkId> path);
+  void set_cap(Handle h, double cap_bps);
+
+  /// A specific link flipped up/down.
+  void notify_link_changed(LinkId link);
+  /// Some unknown set of links flipped; next resolve() diffs cached state.
+  void notify_topology_changed() { scan_links_ = true; }
+
+  /// Re-solves every dirty component. Returns the number of flows re-rated
+  /// (0 when nothing changed — untouched components keep their rates).
+  std::size_t resolve();
+
+  [[nodiscard]] double rate(Handle h) const { return flows_[h].rate_bps; }
+  [[nodiscard]] double cap(Handle h) const { return flows_[h].cap_bps; }
+  [[nodiscard]] const std::vector<LinkId>& path(Handle h) const {
+    return flows_[h].path;
+  }
+  [[nodiscard]] std::size_t flow_count() const { return alive_count_; }
+  /// Aggregate allocated rate over one link — O(flows on that link).
+  [[nodiscard]] double throughput_on(LinkId link) const;
+
+  struct Stats {
+    std::uint64_t resolves = 0;       ///< resolve() calls that re-rated flows
+    std::uint64_t flows_rerated = 0;  ///< cumulative flows re-rated
+    std::uint64_t link_flips = 0;     ///< up/down transitions observed
+    std::size_t last_affected = 0;    ///< flows re-rated by the last resolve
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Flow {
+    std::vector<LinkId> path;
+    double cap_bps = 0.0;
+    double rate_bps = 0.0;
+    bool alive = false;
+  };
+
+  /// Grow LinkId-indexed arrays to cover `link`.
+  void ensure_link(LinkId link);
+  void attach(Handle h);
+  void detach(Handle h);
+  void mark_dirty(LinkId link);
+  void next_stamp();
+  void visit_link(LinkId link);
+
+  const topo::Topology* topo_;
+  std::vector<Flow> flows_;
+  std::vector<Handle> free_handles_;
+  std::size_t alive_count_ = 0;
+
+  // LinkId-indexed membership and cached up/down state.
+  std::vector<std::vector<Handle>> link_flows_;
+  std::vector<std::uint8_t> link_up_seen_;
+  std::vector<LinkId> member_links_;         ///< links with >=1 flow
+  std::vector<std::uint32_t> member_pos_;    ///< link -> member_links_ slot
+
+  std::vector<LinkId> dirty_;
+  bool scan_links_ = false;
+
+  // resolve() scratch: epoch-stamped visited marks for the component BFS.
+  std::vector<std::uint32_t> link_seen_;
+  std::vector<std::uint32_t> flow_seen_;
+  std::uint32_t stamp_ = 0;
+  std::vector<LinkId> bfs_;
+  std::vector<Handle> affected_;
+  std::vector<detail::SolverItem> items_;
+  detail::WaterFiller filler_;
+  Stats stats_;
 };
 
 }  // namespace hpn::flowsim

@@ -20,8 +20,7 @@ FlowId FlowSession::start_flow(std::vector<LinkId> path, DataSize size, Bandwidt
   settle_to_now();
   const FlowId id{next_id_++};
   ActiveFlow f;
-  f.path = std::move(path);
-  f.cap_bps = cap.as_bits_per_sec();
+  f.handle = solver_.add_flow(std::move(path), cap.as_bits_per_sec());
   f.remaining_bits = static_cast<double>(size.as_bits());
   f.on_complete = std::move(on_complete);
   f.started = sim_->now();
@@ -38,7 +37,7 @@ void FlowSession::record_trace(FlowId id, const ActiveFlow& flow, bool aborted) 
   rec.started = flow.started;
   rec.finished = sim_->now();
   rec.size = flow.size;
-  rec.path = flow.path;
+  rec.path = solver_.path(flow.handle);
   rec.aborted = aborted;
   trace_.push_back(std::move(rec));
 }
@@ -57,6 +56,7 @@ bool FlowSession::abort_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   record_trace(id, it->second, /*aborted=*/true);
+  solver_.remove_flow(it->second.handle);
   flows_.erase(it);
   schedule_recompute();
   return true;
@@ -66,7 +66,7 @@ bool FlowSession::reroute_flow(FlowId id, std::vector<LinkId> new_path) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   settle_to_now();
-  it->second.path = std::move(new_path);
+  solver_.set_path(it->second.handle, std::move(new_path));
   schedule_recompute();
   return true;
 }
@@ -84,9 +84,12 @@ std::optional<DataSize> FlowSession::remaining_of(FlowId id) const {
 }
 
 Bandwidth FlowSession::throughput_on(LinkId link) const {
+  // Session-side rates lag the solver's until the pending recompute fires,
+  // so sum the settled per-flow rates rather than asking the solver.
   double sum = 0.0;
   for (const auto& [id, f] : flows_) {
-    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) sum += f.rate_bps;
+    const std::vector<LinkId>& path = solver_.path(f.handle);
+    if (std::find(path.begin(), path.end(), link) != path.end()) sum += f.rate_bps;
   }
   return Bandwidth::bits_per_sec(sum);
 }
@@ -120,29 +123,19 @@ void FlowSession::recompute_and_reschedule() {
     if (it->second.remaining_bits <= kBitEps) {
       record_trace(it->first, it->second, /*aborted=*/false);
       done.emplace_back(it->first, std::move(it->second.on_complete));
+      solver_.remove_flow(it->second.handle);
       it = flows_.erase(it);
     } else {
       ++it;
     }
   }
 
-  // Allocate rates for the survivors.
-  std::vector<FlowId> order;
-  std::vector<FlowDemand> demands;
-  order.reserve(flows_.size());
-  demands.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    order.push_back(id);
-    FlowDemand d;
-    d.path = f.path;
-    d.cap_bps = f.cap_bps;
-    demands.push_back(std::move(d));
-  }
-  solver_.solve(demands);
+  // Re-rate whatever the batched changes touched; unaffected components
+  // keep their allocation and are not revisited by the solver.
+  solver_.resolve();
   double min_finish_s = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    ActiveFlow& f = flows_.at(order[i]);
-    f.rate_bps = demands[i].rate_bps;
+  for (auto& [id, f] : flows_) {
+    f.rate_bps = solver_.rate(f.handle);
     // Zero-rate flows are stalled on a down link; they hold position until
     // reroute_flow/refresh gives them a live path again.
     if (f.rate_bps > 0.0) {

@@ -5,6 +5,12 @@
 // scheduled exactly. This gives precise transfer times for collective
 // rounds (Figs 15-17, 19) without per-packet cost. Multiple starts or
 // completions at one instant are batched into a single recompute.
+//
+// Rates come from a persistent IncrementalMaxMin engine: each recompute
+// re-solves only the connected component(s) of the flow-conflict graph
+// that actually changed (flows started/finished/rerouted, links flipped),
+// so failure-driven runs pay for the blast radius of the event instead of
+// a cold solve over every active flow.
 #pragma once
 
 #include <functional>
@@ -53,8 +59,12 @@ class FlowSession {
   bool reroute_flow(FlowId id, std::vector<LinkId> new_path);
 
   /// Re-solve rates — call after link state changed (a flow whose path has
-  /// a down link stalls at rate zero until rerouted or repaired).
-  void refresh() { schedule_recompute(); }
+  /// a down link stalls at rate zero until rerouted or repaired). Only the
+  /// components touching flipped links are re-solved.
+  void refresh() {
+    solver_.notify_topology_changed();
+    schedule_recompute();
+  }
 
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
 
@@ -70,6 +80,11 @@ class FlowSession {
   /// Total bytes delivered across completed + in-flight flows.
   [[nodiscard]] DataSize delivered_total() const { return delivered_; }
 
+  /// Incremental-solver counters (how much re-solving each change cost).
+  [[nodiscard]] const IncrementalMaxMin::Stats& solver_stats() const {
+    return solver_.stats();
+  }
+
   /// Record every flow's start/finish/path for offline analysis. Off by
   /// default (collectives create millions of flows in long runs).
   void enable_tracing(bool on) { tracing_ = on; }
@@ -79,8 +94,7 @@ class FlowSession {
 
  private:
   struct ActiveFlow {
-    std::vector<LinkId> path;
-    double cap_bps = 0.0;
+    IncrementalMaxMin::Handle handle = IncrementalMaxMin::kInvalidHandle;
     double remaining_bits = 0.0;
     double rate_bps = 0.0;
     CompletionFn on_complete;
@@ -99,7 +113,7 @@ class FlowSession {
 
   const topo::Topology* topo_;
   sim::Simulator* sim_;
-  MaxMinSolver solver_;
+  IncrementalMaxMin solver_;
   std::unordered_map<FlowId, ActiveFlow> flows_;
   FlowId::underlying next_id_ = 1;
   TimePoint last_settle_;

@@ -53,9 +53,13 @@ TEST(Determinism, FailurePlansAreSeedStable) {
     routing::Router r{c.topo};
     ctrl::FabricController fabric{c, s, r};
     fault::FailureInjector inj{c, s, fabric, seed};
-    std::int64_t fingerprint = 0;
+    // Unsigned mix: the multiply wraps by design (signed overflow is UB).
+    std::uint64_t fingerprint = 0;
     for (const auto& e : inj.draw_plan(Duration::hours(24.0 * 365), Duration::minutes(5))) {
-      fingerprint = fingerprint * 1315423911 + e.at.as_nanos() + e.host * 7 + e.rail;
+      fingerprint = fingerprint * 1315423911u +
+                    static_cast<std::uint64_t>(e.at.as_nanos()) +
+                    static_cast<std::uint64_t>(e.host) * 7u +
+                    static_cast<std::uint64_t>(e.rail);
     }
     return fingerprint;
   };
