@@ -1,14 +1,37 @@
 // Shared scaffolding for the per-figure/table harness binaries.
 #pragma once
 
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "metrics/table.h"
+#include "metrics/trace.h"
 
 namespace hpn::bench {
 
 inline constexpr const char* kResultsDir = "results";
+
+/// Common harness flags, parsed from main()'s argv:
+///   --smoke          tiny-scale run for the ctest smoke suite (CI bit-rot
+///                    detection, not paper numbers)
+///   --trace <path>   export the simulation trace (.json => Chrome format)
+struct Args {
+  bool smoke = false;
+  std::string trace_path;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        a.smoke = true;
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        a.trace_path = argv[++i];
+      }
+    }
+    return a;
+  }
+};
 
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n"
@@ -19,6 +42,17 @@ inline void emit(const metrics::Table& table, const std::string& csv_name) {
   table.print(std::cout);
   const std::string path = table.save_csv(kResultsDir, csv_name);
   std::cout << "[csv] " << path << "\n";
+}
+
+/// Export the tracer to `args.trace_path` if set (after the run finished).
+inline void export_trace(const metrics::Tracer& tracer, const Args& args) {
+  if (args.trace_path.empty()) return;
+  if (tracer.save(args.trace_path)) {
+    std::cout << "[trace] " << args.trace_path << " (" << tracer.size() << " events, "
+              << tracer.dropped() << " dropped)\n";
+  } else {
+    std::cout << "[trace] failed to write " << args.trace_path << "\n";
+  }
 }
 
 }  // namespace hpn::bench

@@ -23,7 +23,8 @@ struct PortReport {
   int flows[2] = {0, 0};
 };
 
-PortReport run(bool dual_plane, std::uint16_t sport_base) {
+PortReport run(bool dual_plane, std::uint16_t sport_base, Duration sim_time,
+               const std::string& trace_path = {}) {
   auto cfg = topo::HpnConfig::tiny();
   cfg.hosts_per_segment = 16;
   cfg.tor_uplinks = 8;
@@ -70,19 +71,32 @@ PortReport run(bool dual_plane, std::uint16_t sport_base) {
     rep_flows[port] += 1;
   }
 
-  // The measured links: each dst ToR's port toward the NIC.
+  // The measured links: each dst ToR's port toward the NIC. Queue depth
+  // comes from the tracer's periodic samples rather than a final poke at
+  // the engine — the same probes the golden-trace suite pins down.
   const LinkId port_link[2] = {
       c.topo.link(dst_att.access[0]).reverse,  // ToR(plane0) -> NIC
       c.topo.link(dst_att.access[1]).reverse,
   };
+  s.tracer().enable();
+  s.tracer().watch_link(port_link[0]);
+  s.tracer().watch_link(port_link[1]);
 
-  s.run_for(Duration::seconds(10.0));
+  s.run_for(sim_time);
 
   PortReport rep;
   for (int p = 0; p < 2; ++p) {
     rep.flows[p] = rep_flows[p];
     rep.port_gbps[p] = rep_flows[p] * 50.0;
-    rep.queue_kb[p] = fluid.queue_of(port_link[p]).as_kilobytes();
+    const metrics::TimeSeries q = s.tracer().series(
+        metrics::TraceEventKind::kQueueDepth,
+        static_cast<std::uint32_t>(port_link[p].value()));
+    rep.queue_kb[p] = q.empty() ? 0.0 : q.points().back().value / 1e3;
+  }
+  if (!trace_path.empty()) {
+    bench::Args args;
+    args.trace_path = trace_path;
+    bench::export_trace(s.tracer(), args);
   }
   return rep;
 }
@@ -139,15 +153,18 @@ std::uint16_t representative_clos_epoch() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("Figures 13 & 14 — ToR downstream ports toward the same NIC",
                 "typical Clos: ~3x load imbalance between the two ports, hot-port "
                 "queue ~267KB vs 3KB; dual-plane: even split, avg queue ~20KB "
                 "(-91.8%)");
 
-  const PortReport clos = run(/*dual_plane=*/false, representative_clos_epoch());
-  const PortReport dual = run(/*dual_plane=*/true, 7000);
+  const Duration sim_time = Duration::seconds(args.smoke ? 0.5 : 10.0);
+  const PortReport clos =
+      run(/*dual_plane=*/false, representative_clos_epoch(), sim_time, args.trace_path);
+  const PortReport dual = run(/*dual_plane=*/true, 7000, sim_time);
 
   metrics::Table t{"per-port offered load and queue after convergence"};
   t.columns({"tier2 design", "port1_gbps", "port2_gbps", "imbalance", "queue1_kb", "queue2_kb"});

@@ -57,7 +57,7 @@ Rig make_cluster(bool hpn) {
   return rig;
 }
 
-Result run(bool hpn) {
+Result run(bool hpn, const bench::Args& args) {
   Rig rig = make_cluster(hpn);
   topo::Cluster& c = *rig.cluster;
   sim::Simulator s;
@@ -108,7 +108,9 @@ Result run(bool hpn) {
   res.agg_gbps = crossing_bytes * 8.0 / 1e9 / iter_s;
 
   // (c) Queue probe: replay the crossing flows in the fluid engine for a
-  // burst window and record the worst Agg downlink queue.
+  // burst window; the tracer watches every Agg downlink and its periodic
+  // samples give the standing queue (sparse sampling keeps the event count
+  // bounded on this many links).
   sim::Simulator fluid_sim;
   flowsim::FluidConfig fluid_cfg;
   fluid_cfg.tick = Duration::micros(500);
@@ -116,33 +118,46 @@ Result run(bool hpn) {
   // at 400G (vs the ToR access-port thresholds of Fig 14).
   fluid_cfg.ecn_kmin = DataSize::kilobytes(500);
   fluid_cfg.ecn_kmax = DataSize::megabytes(8);
+  fluid_cfg.trace_sample_every = 64;
   flowsim::FluidSimulator fluid{c.topo, fluid_sim, fluid_cfg};
+  std::vector<LinkId> agg_downlinks;
+  fluid_sim.tracer().enable();
+  for (const auto& link : c.topo.links()) {
+    if (link.kind == topo::LinkKind::kFabric &&
+        c.topo.node(link.src).kind == topo::NodeKind::kAgg) {
+      fluid_sim.tracer().watch_link(link.id);
+      agg_downlinks.push_back(link.id);
+    }
+  }
   const std::size_t probe_flows = std::min<std::size_t>(crossing_paths.size(), 1'500);
   for (std::size_t i = 0; i < probe_flows; ++i) {
     // Two NCCL channels per ring edge, as the collective actually sends.
     fluid.start_flow(crossing_paths[i], Bandwidth::gbps(200));
     fluid.start_flow(crossing_paths[i], Bandwidth::gbps(200));
   }
-  fluid_sim.run_for(Duration::seconds(8.0));
-  for (const auto& link : c.topo.links()) {
-    if (link.kind == topo::LinkKind::kFabric &&
-        c.topo.node(link.src).kind == topo::NodeKind::kAgg) {
-      res.agg_queue_mb = std::max(res.agg_queue_mb, fluid.queue_of(link.id).as_megabytes());
+  fluid_sim.run_for(Duration::seconds(args.smoke ? 1.0 : 8.0));
+  for (const LinkId link : agg_downlinks) {
+    const metrics::TimeSeries q = fluid_sim.tracer().series(
+        metrics::TraceEventKind::kQueueDepth, static_cast<std::uint32_t>(link.value()));
+    if (!q.empty()) {
+      res.agg_queue_mb = std::max(res.agg_queue_mb, q.points().back().value / 1e6);
     }
   }
+  if (hpn && !args.trace_path.empty()) bench::export_trace(fluid_sim.tracer(), args);
   return res;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("Figure 15 — production training on 2304 GPUs (288 hosts)",
                 "HPN +14.9% samples/s over DCN+ (19 segments -> 3 segments); cross-"
                 "segment traffic -37%; Agg queues deflate from multi-MB to near-zero");
 
-  const Result dcn = run(/*hpn=*/false);
-  const Result hpn = run(/*hpn=*/true);
+  const Result dcn = run(/*hpn=*/false, args);
+  const Result hpn = run(/*hpn=*/true, args);
 
   metrics::Table t{"end-to-end comparison"};
   t.columns({"fabric", "samples_per_s", "agg_traffic_gbps", "peak_agg_queue_mb"});

@@ -50,8 +50,12 @@ struct Outcome {
   double stall_seconds = 0.0; ///< longest iteration stretch during episode
 };
 
-Outcome run_link_failure(bool dual_tor, Duration repair_after) {
+Outcome run_link_failure(bool dual_tor, Duration repair_after,
+                         const std::string& trace_path = {}) {
   Rig rig{dual_tor};
+  // Trace the whole drill: iteration spans, collective spans, link up/down
+  // and the per-flow stall/reroute/resume cascade all land in one timeline.
+  rig.sim.tracer().enable();
   const auto plan = workload::ParallelismPlanner{rig.cluster}.plan(8, 1, 32);
   train::TrainOptions opts;
   opts.comm_timeout = Duration::seconds(120.0);  // NCCL default-ish 2 min
@@ -84,21 +88,29 @@ Outcome run_link_failure(bool dual_tor, Duration repair_after) {
   // at the injection instant does not count as "during".
   out.during =
       job.throughput().mean_over(fail_at + Duration::nanos(1), fail_at + repair_after);
-  // Longest single iteration during the episode = the visible stall.
+  // Longest single iteration during the episode = the visible stall, read
+  // off the tracer's iteration-end events.
   TimePoint prev = fail_at;
-  for (const auto& p : job.throughput().points()) {
-    if (p.at <= fail_at) { prev = p.at; continue; }
-    out.stall_seconds = std::max(out.stall_seconds, (p.at - prev).as_seconds());
-    prev = p.at;
+  for (const auto& ev :
+       rig.sim.tracer().events_of(metrics::TraceEventKind::kIterationEnd)) {
+    if (ev.at <= fail_at) { prev = ev.at; continue; }
+    out.stall_seconds = std::max(out.stall_seconds, (ev.at - prev).as_seconds());
+    prev = ev.at;
   }
   job.run_iterations(5);
   out.after = job.state() == train::JobState::kRunning ? job.steady_samples_per_sec(3) : 0.0;
   out.crashed = job.state() == train::JobState::kCrashed;
+  if (!trace_path.empty()) {
+    bench::Args targs;
+    targs.trace_path = trace_path;
+    bench::export_trace(rig.sim.tracer(), targs);
+  }
   return out;
 }
 
 Outcome run_flapping(bool dual_tor) {
   Rig rig{dual_tor};
+  rig.sim.tracer().enable();
   const auto plan = workload::ParallelismPlanner{rig.cluster}.plan(8, 1, 32);
   train::TrainOptions opts;
   opts.comm_timeout = Duration::seconds(120.0);
@@ -134,10 +146,11 @@ Outcome run_flapping(bool dual_tor) {
   const double healthy_iter = 256.0 / out.baseline;  // world_size / samples_per_s
   TimePoint prev = start;
   double total_stall = 0.0;
-  for (const auto& p : job.throughput().points()) {
-    if (p.at <= start) { prev = p.at; continue; }
-    total_stall += std::max(0.0, (p.at - prev).as_seconds() - 1.2 * healthy_iter);
-    prev = p.at;
+  for (const auto& ev :
+       rig.sim.tracer().events_of(metrics::TraceEventKind::kIterationEnd)) {
+    if (ev.at <= start) { prev = ev.at; continue; }
+    total_stall += std::max(0.0, (ev.at - prev).as_seconds() - 1.2 * healthy_iter);
+    prev = ev.at;
   }
   out.stall_seconds = total_stall;
   out.during =
@@ -150,8 +163,9 @@ std::string fmt(double v) { return hpn::metrics::Table::num(v, 1); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("Figure 18 — performance under NIC-ToR link malfunctions (256 GPUs)",
                 "(a) failure: single-ToR halts (crashes if repair > timeout); dual-ToR "
                 "loses only ~6.25%; (b) flapping: single-ToR stalls >9s, dual-ToR "
@@ -165,8 +179,16 @@ int main() {
   };
   // Repairs at 20s are the paper's "repaired within 1 minute" regime; the
   // 180s single-ToR case exceeds the 2-minute collective timeout -> crash.
-  for (const CaseA c : {CaseA{true, 20.0}, CaseA{false, 20.0}, CaseA{false, 180.0}}) {
-    const Outcome o = run_link_failure(c.dual, Duration::seconds(c.repair_s));
+  // (--smoke drops the crash case: its ~330 degraded iterations dominate
+  // the runtime without exercising any additional code path.)
+  std::vector<CaseA> cases{CaseA{true, 20.0}, CaseA{false, 20.0}};
+  if (!args.smoke) cases.push_back(CaseA{false, 180.0});
+  bool exported = false;
+  for (const CaseA c : cases) {
+    // The dual-ToR failover drill is the canonical Chrome trace (--trace).
+    const std::string trace = c.dual && !exported ? args.trace_path : std::string{};
+    exported |= c.dual;
+    const Outcome o = run_link_failure(c.dual, Duration::seconds(c.repair_s), trace);
     a.add_row({c.dual ? "dual-ToR" : "single-ToR",
                metrics::Table::num(c.repair_s, 0) + "s", fmt(o.baseline),
                o.crashed ? "0.0 (halted)" : fmt(o.during),

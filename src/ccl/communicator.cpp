@@ -44,6 +44,21 @@ int Communicator::chunks_for(DataSize total) const {
   return std::clamp(by_min, 1, config_.pipeline_chunks);
 }
 
+Communicator::DoneFn Communicator::traced(const char* op, DataSize per_gpu, DoneFn done) {
+  metrics::Tracer& tracer = sim_->tracer();
+  if (!tracer.enabled()) return done;
+  const std::uint32_t span = tracer.begin_span();
+  sim_->trace(metrics::TraceEventKind::kCollectiveBegin, span,
+              static_cast<std::uint32_t>(world_size()),
+              static_cast<double>(per_gpu.as_bytes()), op);
+  // The end record captures the Simulator (which outlives the Communicator)
+  // rather than `this`, so a span can close after the communicator is gone.
+  return [sim = sim_, span, op, done = std::move(done)] {
+    sim->trace(metrics::TraceEventKind::kCollectiveEnd, span, metrics::kTraceNoId, 0.0, op);
+    if (done) done();
+  };
+}
+
 void Communicator::send_message(int src_rank, int dst_rank, DataSize size, DoneFn done) {
   const auto& conn_ids = conns_->establish(src_rank, dst_rank);
   const ConnId conn = conns_->pick(conn_ids);
@@ -254,6 +269,7 @@ void Communicator::all_reduce_tree(DataSize per_gpu, DoneFn done) {
 }
 
 void Communicator::broadcast(DataSize payload, DoneFn done) {
+  done = traced("broadcast", payload, std::move(done));
   const int chunks = chunks_for(payload);
   const DataSize chunk = payload / static_cast<double>(chunks);
   const DataSize intra_bytes = chunk * (static_cast<double>(rails_ - 1) / rails_);
@@ -274,6 +290,7 @@ void Communicator::broadcast(DataSize payload, DoneFn done) {
 }
 
 void Communicator::reduce(DataSize payload, DoneFn done) {
+  done = traced("reduce", payload, std::move(done));
   const int chunks = chunks_for(payload);
   const DataSize chunk = payload / static_cast<double>(chunks);
   const double gain = config_.nvls ? config_.nvls_gain : 1.0;
@@ -303,6 +320,7 @@ void Communicator::barrier(DoneFn done) {
 }
 
 void Communicator::all_reduce(DataSize per_gpu, DoneFn done) {
+  done = traced("all_reduce", per_gpu, std::move(done));
   if (use_tree(per_gpu)) {
     all_reduce_tree(per_gpu, std::move(done));
     return;
@@ -332,6 +350,7 @@ void Communicator::all_reduce(DataSize per_gpu, DoneFn done) {
 }
 
 void Communicator::reduce_scatter(DataSize per_gpu, DoneFn done) {
+  done = traced("reduce_scatter", per_gpu, std::move(done));
   const int chunks = chunks_for(per_gpu);
   const DataSize chunk = per_gpu / static_cast<double>(chunks);
   const int hosts = static_cast<int>(hosts_.size());
@@ -354,6 +373,7 @@ void Communicator::reduce_scatter(DataSize per_gpu, DoneFn done) {
 }
 
 void Communicator::all_gather(DataSize gathered, DoneFn done) {
+  done = traced("all_gather", gathered, std::move(done));
   const int chunks = chunks_for(gathered);
   const DataSize chunk = gathered / static_cast<double>(chunks);
   const int hosts = static_cast<int>(hosts_.size());
@@ -389,6 +409,7 @@ void Communicator::all_gather(DataSize gathered, DoneFn done) {
 void Communicator::multi_all_reduce(DataSize per_gpu, DoneFn done) {
   // Fig 17c: every rail ring all-reduces the *full* per-GPU buffer; no
   // NVLink participation at all.
+  done = traced("multi_all_reduce", per_gpu, std::move(done));
   const int chunks = chunks_for(per_gpu);
   const DataSize chunk = per_gpu / static_cast<double>(chunks);
   const int hosts = static_cast<int>(hosts_.size());
@@ -405,6 +426,7 @@ void Communicator::multi_all_reduce(DataSize per_gpu, DoneFn done) {
 }
 
 int Communicator::all_to_all(DataSize per_gpu, bool allow_host_relay, DoneFn done) {
+  done = traced("all_to_all", per_gpu, std::move(done));
   const int hosts = static_cast<int>(hosts_.size());
   const int world = world_size();
   if (world <= 1) {

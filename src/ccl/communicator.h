@@ -168,6 +168,10 @@ class Communicator {
   [[nodiscard]] int chunks_for(DataSize total) const;
   [[nodiscard]] int global_rank(int host_pos, int rail) const;
 
+  /// Opens a tracer collective span and returns `done` wrapped to close it.
+  /// No-op passthrough while the tracer is disabled.
+  DoneFn traced(const char* op, DataSize per_gpu, DoneFn done);
+
   const topo::Cluster* cluster_;
   sim::Simulator* sim_;
   flowsim::FlowSession* session_;

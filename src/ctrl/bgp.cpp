@@ -94,6 +94,10 @@ std::vector<BgpRoute> BgpFabric::best_of(const Speaker& sp, Prefix prefix) const
 void BgpFabric::send(Message msg) {
   ++inflight_messages_;
   ++messages_sent_;
+  sim_->trace(msg.kind == MsgKind::kWithdraw ? metrics::TraceEventKind::kBgpWithdraw
+                                             : metrics::TraceEventKind::kBgpUpdate,
+              static_cast<std::uint32_t>(msg.from.value()),
+              static_cast<std::uint32_t>(msg.route.prefix.value()));
   sim_->schedule_after(timings_.processing, [this, msg = std::move(msg)] {
     --inflight_messages_;
     deliver(msg);
@@ -130,7 +134,12 @@ void BgpFabric::reselect_and_propagate(Speaker& sp, Prefix prefix) {
   // Always install (next hops may differ even at equal length/count).
   fib_entry = std::move(best);
   if (fib_entry.empty()) sp.fib.erase(prefix);
-  if (changed) ++fib_changes_;
+  if (changed) {
+    ++fib_changes_;
+    sim_->trace(metrics::TraceEventKind::kFibUpdate,
+                static_cast<std::uint32_t>(sp.node.value()),
+                static_cast<std::uint32_t>(prefix.value()));
+  }
 
   // Advertise when our exported view changed: lengths differ or presence
   // flipped. Exported view = shortest length + 1, or "withdrawn".

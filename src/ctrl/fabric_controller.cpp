@@ -44,6 +44,9 @@ void FabricController::do_fail_access(int host, int rail, int port) {
   const LinkId access = att.access.at(static_cast<std::size_t>(port));
   cluster_->topo.set_duplex_up(access, false);
   router_->invalidate();
+  sim_->trace(metrics::TraceEventKind::kLinkDown,
+              static_cast<std::uint32_t>(access.value()),
+              static_cast<std::uint32_t>(host));
 
   PortState& st = state(PortKey{host, rail, port});
   st.up = false;
@@ -82,6 +85,9 @@ void FabricController::repair_access(int host, int rail, int port) {
   const LinkId access = att.access.at(static_cast<std::size_t>(port));
   cluster_->topo.set_duplex_up(access, true);
   router_->invalidate();
+  sim_->trace(metrics::TraceEventKind::kLinkUp,
+              static_cast<std::uint32_t>(access.value()),
+              static_cast<std::uint32_t>(host));
 
   PortState& st = state(PortKey{host, rail, port});
   st.up = true;
@@ -103,6 +109,8 @@ void FabricController::fail_tor(NodeId tor) {
   // Physical: every link on the ToR drops.
   for (const LinkId l : cluster_->topo.out_links(tor)) {
     cluster_->topo.set_duplex_up(l, false);
+    sim_->trace(metrics::TraceEventKind::kLinkDown, static_cast<std::uint32_t>(l.value()),
+                static_cast<std::uint32_t>(tor.value()));
   }
   router_->invalidate();
   // Mark every NIC port attached to this ToR failed (reusing the access
@@ -123,6 +131,8 @@ void FabricController::fail_tor(NodeId tor) {
 void FabricController::repair_tor(NodeId tor) {
   for (const LinkId l : cluster_->topo.out_links(tor)) {
     cluster_->topo.set_duplex_up(l, true);
+    sim_->trace(metrics::TraceEventKind::kLinkUp, static_cast<std::uint32_t>(l.value()),
+                static_cast<std::uint32_t>(tor.value()));
   }
   router_->invalidate();
   for (const topo::Host& h : cluster_->hosts) {

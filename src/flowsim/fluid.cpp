@@ -29,7 +29,11 @@ FlowId FluidSimulator::start_flow(std::vector<LinkId> path, Bandwidth cap, DataS
   f.remaining_bits = static_cast<double>(size.as_bits());
   f.on_complete = std::move(on_complete);
   for (const LinkId l : f.path) links_.try_emplace(l);
+  const double traced_bytes =
+      f.infinite ? 0.0 : static_cast<double>(size.as_bytes());
   flows_.emplace(id, std::move(f));
+  sim_->trace(metrics::TraceEventKind::kFlowStart, static_cast<std::uint32_t>(id.value()),
+              metrics::kTraceNoId, traced_bytes, "fluid");
   ensure_ticking();
   return id;
 }
@@ -97,10 +101,21 @@ void FluidSimulator::tick() {
   }
 
   // 2. Queues integrate (arrival - capacity).
+  const metrics::Tracer& tracer = sim_->tracer();
+  const bool sample =
+      tracer.enabled() && config_.trace_sample_every > 0 &&
+      tick_count_++ % static_cast<std::uint64_t>(config_.trace_sample_every) == 0;
   for (auto& [lid, st] : links_) {
     const double cap = topo_->link(lid).capacity.as_bits_per_sec();
     st.delivered_bps = std::min(st.arrival_bps + st.queue_bits / dt, cap);
     st.queue_bits = std::max(0.0, st.queue_bits + (st.arrival_bps - cap) * dt);
+    if (sample && tracer.watching(lid)) {
+      const auto link = static_cast<std::uint32_t>(lid.value());
+      sim_->trace(metrics::TraceEventKind::kQueueDepth, link, metrics::kTraceNoId,
+                  st.queue_bits / 8.0);
+      sim_->trace(metrics::TraceEventKind::kLinkUtilization, link, metrics::kTraceNoId,
+                  cap > 0.0 ? st.delivered_bps / cap : 0.0);
+    }
   }
 
   // 3. Per-flow goodput, data accounting and DCQCN feedback.
@@ -127,6 +142,9 @@ void FluidSimulator::tick() {
 
   for (auto& [fid, fn] : done) {
     flows_.erase(fid);
+    sim_->trace(metrics::TraceEventKind::kFlowFinish,
+                static_cast<std::uint32_t>(fid.value()), metrics::kTraceNoId, 0.0,
+                "fluid");
     if (fn) fn(fid);
   }
 }

@@ -33,6 +33,9 @@ struct FluidConfig {
   /// Flows start at this fraction of their cap.
   double initial_rate = 1.0;
   double min_rate_fraction = 0.001;
+  /// Record tracer queue/utilization samples for watched links every N
+  /// ticks (long runs sample sparsely so the trace ring holds the window).
+  int trace_sample_every = 1;
 };
 
 class FluidSimulator {
@@ -91,6 +94,7 @@ class FluidSimulator {
   std::unordered_map<LinkId, LinkState> links_;
   FlowId::underlying next_id_ = 1;
   std::unique_ptr<sim::PeriodicTimer> timer_;
+  std::uint64_t tick_count_ = 0;
 };
 
 }  // namespace hpn::flowsim

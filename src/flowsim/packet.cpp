@@ -27,6 +27,8 @@ FlowId PacketSimulator::start_flow(std::vector<LinkId> path, DataSize size,
   f.on_complete = std::move(on_complete);
   for (const LinkId l : f.path) ports_.try_emplace(l);
   flows_.emplace(id, std::move(f));
+  sim_->trace(metrics::TraceEventKind::kFlowStart, static_cast<std::uint32_t>(id.value()),
+              metrics::kTraceNoId, static_cast<double>(size.as_bytes()), "packet");
   arm_injector(id);
   rate_increase_tick(id);
   return id;
@@ -85,6 +87,10 @@ void PacketSimulator::enqueue(LinkId link, Packet pkt) {
     if (!config_.pfc) {
       // Tail drop; the sender will re-inject the bytes after its timeout.
       ++port.drops;
+      sim_->trace(metrics::TraceEventKind::kPacketDrop,
+                  static_cast<std::uint32_t>(link.value()),
+                  static_cast<std::uint32_t>(pkt.flow.value()),
+                  static_cast<double>(pkt.bytes));
       sim_->schedule_after(config_.retransmit_timeout, [this, id = pkt.flow,
                                                         bytes = pkt.bytes] {
         auto it = flows_.find(id);
@@ -110,6 +116,11 @@ void PacketSimulator::enqueue(LinkId link, Packet pkt) {
 
   port.queued_bytes += pkt.bytes;
   port.queue.push_back(pkt);
+  if (sim_->tracer().watching(link)) {
+    sim_->trace(metrics::TraceEventKind::kQueueDepth,
+                static_cast<std::uint32_t>(link.value()), metrics::kTraceNoId,
+                static_cast<double>(port.queued_bytes));
+  }
   if (config_.pfc && port.queued_bytes > static_cast<std::int64_t>(config_.pfc_xoff.as_bytes())) {
     pause_upstream(port, pkt);
   }
@@ -126,6 +137,8 @@ void PacketSimulator::pause_upstream(PortState& down, const Packet& pkt) {
   if (!up.paused) {
     up.paused = true;
     up.paused_since = sim_->now();
+    sim_->trace(metrics::TraceEventKind::kPfcPause,
+                static_cast<std::uint32_t>(upstream.value()));
   }
 }
 
@@ -135,6 +148,8 @@ void PacketSimulator::resume_all(PortState& down) {
     if (up.paused) {
       up.paused = false;
       up.total_paused += sim_->now() - up.paused_since;
+      sim_->trace(metrics::TraceEventKind::kPfcResume,
+                  static_cast<std::uint32_t>(upstream.value()));
       try_transmit(upstream);
     }
   }
@@ -156,6 +171,11 @@ void PacketSimulator::try_transmit(LinkId link) {
     p.queue.pop_front();
     p.queued_bytes -= sent.bytes;
     p.tx_bytes += static_cast<std::uint64_t>(sent.bytes);
+    if (sim_->tracer().watching(link)) {
+      sim_->trace(metrics::TraceEventKind::kQueueDepth,
+                  static_cast<std::uint32_t>(link.value()), metrics::kTraceNoId,
+                  static_cast<double>(p.queued_bytes));
+    }
     // PFC resume when the queue drains below Xon: wake every paused feeder.
     if (config_.pfc &&
         p.queued_bytes < static_cast<std::int64_t>(config_.pfc_xon.as_bytes())) {
@@ -194,6 +214,8 @@ void PacketSimulator::deliver(Packet pkt) {
     auto done = std::move(f.on_complete);
     const FlowId id = pkt.flow;
     flows_.erase(id);
+    sim_->trace(metrics::TraceEventKind::kFlowFinish, static_cast<std::uint32_t>(id.value()),
+                metrics::kTraceNoId, 0.0, "packet");
     if (done) done(id);
   }
 }

@@ -26,6 +26,8 @@ FlowId FlowSession::start_flow(std::vector<LinkId> path, DataSize size, Bandwidt
   f.started = sim_->now();
   f.size = size;
   flows_.emplace(id, std::move(f));
+  sim_->trace(metrics::TraceEventKind::kFlowStart, static_cast<std::uint32_t>(id.value()),
+              metrics::kTraceNoId, static_cast<double>(size.as_bytes()));
   schedule_recompute();
   return id;
 }
@@ -56,6 +58,8 @@ bool FlowSession::abort_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   record_trace(id, it->second, /*aborted=*/true);
+  sim_->trace(metrics::TraceEventKind::kFlowAbort, static_cast<std::uint32_t>(id.value()),
+              metrics::kTraceNoId, it->second.remaining_bits);
   solver_.remove_flow(it->second.handle);
   flows_.erase(it);
   schedule_recompute();
@@ -66,7 +70,10 @@ bool FlowSession::reroute_flow(FlowId id, std::vector<LinkId> new_path) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   settle_to_now();
+  const auto hops = static_cast<double>(new_path.size());
   solver_.set_path(it->second.handle, std::move(new_path));
+  sim_->trace(metrics::TraceEventKind::kFlowReroute, static_cast<std::uint32_t>(id.value()),
+              metrics::kTraceNoId, hops);
   schedule_recompute();
   return true;
 }
@@ -122,6 +129,9 @@ void FlowSession::recompute_and_reschedule() {
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining_bits <= kBitEps) {
       record_trace(it->first, it->second, /*aborted=*/false);
+      sim_->trace(metrics::TraceEventKind::kFlowFinish,
+                  static_cast<std::uint32_t>(it->first.value()), metrics::kTraceNoId,
+                  (sim_->now() - it->second.started).as_seconds());
       done.emplace_back(it->first, std::move(it->second.on_complete));
       solver_.remove_flow(it->second.handle);
       it = flows_.erase(it);
@@ -140,6 +150,16 @@ void FlowSession::recompute_and_reschedule() {
     // reroute_flow/refresh gives them a live path again.
     if (f.rate_bps > 0.0) {
       min_finish_s = std::min(min_finish_s, f.remaining_bits / f.rate_bps);
+      if (f.stalled) {
+        f.stalled = false;
+        sim_->trace(metrics::TraceEventKind::kFlowResume,
+                    static_cast<std::uint32_t>(id.value()));
+      }
+    } else if (!f.stalled) {
+      f.stalled = true;
+      sim_->trace(metrics::TraceEventKind::kFlowStall,
+                  static_cast<std::uint32_t>(id.value()), metrics::kTraceNoId,
+                  f.remaining_bits);
     }
   }
 

@@ -100,6 +100,7 @@ class FlowSession {
     CompletionFn on_complete;
     TimePoint started;
     DataSize size;
+    bool stalled = false;  ///< rate hit zero while bits remain (down link)
   };
 
   void record_trace(FlowId id, const ActiveFlow& flow, bool aborted);

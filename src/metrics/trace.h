@@ -1,0 +1,143 @@
+// Simulation-wide tracing: typed events in a bounded ring buffer.
+//
+// The paper's evidence is time-series telemetry — queue lengths (Figs 14,
+// 15c), per-port imbalance (Fig 13), failover timelines (Fig 18) — and HPN
+// itself leans on INT-based telemetry (§10). The Tracer is the simulator's
+// equivalent: every layer (flowsim engines, control plane, collectives,
+// training loop) records typed events into one ring buffer owned by the
+// Simulator, and benches/tests read them back as event sequences or
+// TimeSeries instead of hand-rolling their own sampling.
+//
+// Disabled (the default) it is a single branch on a bool per call site —
+// nothing allocates, nothing records. Enabled, events land in a fixed-size
+// ring (oldest overwritten first, drops counted), exportable as CSV or as
+// Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "metrics/timeseries.h"
+
+namespace hpn::metrics {
+
+enum class TraceEventKind : std::uint8_t {
+  // Flow lifecycle (event-driven + packet engines). a = FlowId.
+  kFlowStart,    ///< value = flow size in bytes
+  kFlowFinish,   ///< value = flow completion time in seconds
+  kFlowAbort,    ///< value = bits left undelivered
+  kFlowReroute,  ///< value = new hop count
+  kFlowStall,    ///< rate hit zero on a down link; value = remaining bits
+  kFlowResume,   ///< rate recovered after reroute/repair
+  // Link state (control plane). a = LinkId.
+  kLinkDown,
+  kLinkUp,
+  // Periodic per-link samples (fluid + packet engines, watched links only).
+  kLinkUtilization,  ///< a = LinkId, value = delivered/capacity in [0,1]
+  kQueueDepth,       ///< a = LinkId, value = queue depth in bytes
+  // Packet-engine congestion control. a = LinkId (kPacketDrop: b = FlowId).
+  kPfcPause,
+  kPfcResume,
+  kPacketDrop,
+  // BGP-lite control plane. a = speaker NodeId, b = prefix (NIC NodeId).
+  kBgpWithdraw,
+  kBgpUpdate,
+  kFibUpdate,
+  // Collective spans (ccl). a = span id, b = world size; label = op name.
+  kCollectiveBegin,  ///< value = per-GPU payload bytes
+  kCollectiveEnd,
+  // Training iteration spans (train). a = iteration number (1-based).
+  kIterationBegin,
+  kIterationEnd,  ///< value = iteration wall time in seconds
+};
+
+std::string_view to_string(TraceEventKind kind);
+
+inline constexpr std::uint32_t kTraceNoId = 0xFFFFFFFFu;
+
+/// One recorded event. POD: `label` must be a static-storage string.
+struct TraceEvent {
+  TimePoint at;
+  TraceEventKind kind{};
+  std::uint32_t a = kTraceNoId;  ///< Primary entity (flow/link/node/span).
+  std::uint32_t b = kTraceNoId;  ///< Secondary entity, if any.
+  double value = 0.0;            ///< Kind-specific payload (see enum docs).
+  const char* label = nullptr;   ///< Kind-specific name (collective op, ...).
+};
+
+class Tracer {
+ public:
+  /// Start recording into a ring of `capacity` events (~40 B each). A
+  /// second enable() with a different capacity reallocates and clears.
+  void enable(std::size_t capacity = 1u << 20);
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Hot path: one predictable branch when disabled.
+  void record(TimePoint at, TraceEventKind kind, std::uint32_t a = kTraceNoId,
+              std::uint32_t b = kTraceNoId, double value = 0.0,
+              const char* label = nullptr) {
+    if (!enabled_) return;
+    push(TraceEvent{at, kind, a, b, value, label});
+  }
+
+  // ---- Sampling filter ------------------------------------------------------
+  // Discrete events are always recorded while enabled; *periodic samples*
+  // (utilization, queue depth) are recorded only for watched links, so
+  // enabling the tracer on a Pod-scale run stays cheap.
+  void watch_link(LinkId link);
+  void watch_all_links(bool on) { watch_all_ = on; }
+  [[nodiscard]] bool watching(LinkId link) const {
+    if (!enabled_) return false;
+    if (watch_all_) return true;
+    return link.index() < watched_.size() && watched_[link.index()] != 0;
+  }
+
+  /// Monotonic id for pairing begin/end span events.
+  std::uint32_t begin_span() { return next_span_++; }
+
+  // ---- Introspection --------------------------------------------------------
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  void clear();
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Retained events of one kind (optionally one primary entity), in order.
+  [[nodiscard]] std::vector<TraceEvent> events_of(
+      TraceEventKind kind, std::uint32_t a = kTraceNoId) const;
+  /// Periodic samples of `kind` for entity `a` as a TimeSeries — the bench
+  /// replacement for hand-rolled queue/utilization sampling.
+  [[nodiscard]] TimeSeries series(TraceEventKind kind, std::uint32_t a) const;
+
+  // ---- Exporters ------------------------------------------------------------
+  /// time_ns,kind,a,b,value,label — one line per retained event.
+  void write_csv(std::ostream& os) const;
+  /// Chrome trace_event JSON (chrome://tracing, Perfetto): spans become
+  /// async begin/end pairs, samples become counter tracks, everything else
+  /// becomes instant events.
+  void write_chrome_json(std::ostream& os) const;
+  /// Write one of the above to `path` ('.json' selects Chrome format).
+  /// Returns false if the file cannot be opened.
+  bool save(const std::string& path) const;
+
+ private:
+  void push(const TraceEvent& ev);
+
+  bool enabled_ = false;
+  bool watch_all_ = false;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  ///< Events ever recorded; next slot = total_ % cap.
+  std::uint32_t next_span_ = 1;
+  std::vector<std::uint8_t> watched_;  ///< Dense by LinkId index.
+};
+
+}  // namespace hpn::metrics

@@ -14,6 +14,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "metrics/trace.h"
 
 namespace hpn::sim {
 
@@ -64,6 +65,18 @@ class Simulator {
   /// Time of the next pending event, or TimePoint::far_future() if none.
   [[nodiscard]] TimePoint next_event_time() const;
 
+  /// Simulation-wide trace sink. Disabled by default; every layer that holds
+  /// a Simulator& records through this (see metrics/trace.h).
+  [[nodiscard]] metrics::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const metrics::Tracer& tracer() const { return tracer_; }
+
+  /// Shorthand for `tracer().record(now(), ...)` — the common probe call.
+  void trace(metrics::TraceEventKind kind, std::uint32_t a = metrics::kTraceNoId,
+             std::uint32_t b = metrics::kTraceNoId, double value = 0.0,
+             const char* label = nullptr) {
+    tracer_.record(now_, kind, a, b, value, label);
+  }
+
  private:
   struct Event {
     TimePoint at;
@@ -88,6 +101,7 @@ class Simulator {
   std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, QueueOrder>
       queue_;
   std::unordered_map<EventId, std::shared_ptr<Event>> live_;
+  metrics::Tracer tracer_;
 };
 
 /// Repeats a callback on a fixed period until stopped or the callback

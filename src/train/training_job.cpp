@@ -41,6 +41,8 @@ TrainingJob::~TrainingJob() { *alive_ = false; }
 std::optional<Duration> TrainingJob::run_one_iteration() {
   const TimePoint start = sim_->now();
   const TimePoint deadline = start + model_.compute_per_iteration + options_.comm_timeout;
+  ++iteration_;
+  sim_->trace(metrics::TraceEventKind::kIterationBegin, iteration_);
 
   // Shared so late-firing callbacks stay valid if we bail out on a crash.
   auto pending = std::make_shared<int>(0);
@@ -90,7 +92,10 @@ std::optional<Duration> TrainingJob::run_one_iteration() {
       return std::nullopt;
     }
   }
-  return sim_->now() - start;
+  const Duration took = sim_->now() - start;
+  sim_->trace(metrics::TraceEventKind::kIterationEnd, iteration_, metrics::kTraceNoId,
+              took.as_seconds());
+  return took;
 }
 
 int TrainingJob::run_iterations(int n) {

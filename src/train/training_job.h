@@ -73,6 +73,7 @@ class TrainingJob {
   std::unique_ptr<ccl::Communicator> pp_comm_;  ///< Whole-job, for send/recv.
   metrics::TimeSeries throughput_{"samples_per_sec"};
   JobState state_ = JobState::kRunning;
+  std::uint32_t iteration_ = 0;  ///< 1-based, for tracer iteration spans.
   /// Disarms the phase-2 continuation if the job is destroyed mid-iteration
   /// (crash + restart replaces the job while events are pending).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -1,0 +1,193 @@
+// Tracer unit tests: ring-buffer semantics, filters, exporters.
+#include "metrics/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hpn::metrics {
+namespace {
+
+TimePoint at_us(std::int64_t us) { return TimePoint::origin() + Duration::micros(us); }
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record(at_us(1), TraceEventKind::kFlowStart, 7);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), 0u);  // nothing allocated until enable()
+}
+
+TEST(TracerTest, RecordsInOrderWhileEnabled) {
+  Tracer t;
+  t.enable(64);
+  t.record(at_us(1), TraceEventKind::kFlowStart, 1, kTraceNoId, 100.0);
+  t.record(at_us(2), TraceEventKind::kFlowStart, 2, kTraceNoId, 200.0);
+  t.record(at_us(3), TraceEventKind::kFlowFinish, 1, kTraceNoId, 0.5);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].a, 1u);
+  EXPECT_EQ(evs[1].a, 2u);
+  EXPECT_EQ(evs[2].kind, TraceEventKind::kFlowFinish);
+  EXPECT_DOUBLE_EQ(evs[1].value, 200.0);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, DisableStopsRecordingButKeepsEvents) {
+  Tracer t;
+  t.enable(8);
+  t.record(at_us(1), TraceEventKind::kLinkDown, 3);
+  t.disable();
+  t.record(at_us(2), TraceEventKind::kLinkUp, 3);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events().front().kind, TraceEventKind::kLinkDown);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer t;
+  t.enable(4);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    t.record(at_us(i), TraceEventKind::kFlowStart, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().a, 2u);  // events 0 and 1 were overwritten
+  EXPECT_EQ(evs.back().a, 5u);
+}
+
+TEST(TracerTest, ReenableSameCapacityKeepsEvents) {
+  Tracer t;
+  t.enable(16);
+  t.record(at_us(1), TraceEventKind::kFlowStart, 1);
+  t.enable(16);  // same capacity: no reallocation, no loss
+  EXPECT_EQ(t.size(), 1u);
+  t.enable(32);  // different capacity: clears
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TracerTest, EventsOfFiltersByKindAndEntity) {
+  Tracer t;
+  t.enable(64);
+  t.record(at_us(1), TraceEventKind::kQueueDepth, 10, kTraceNoId, 1.0);
+  t.record(at_us(2), TraceEventKind::kQueueDepth, 11, kTraceNoId, 2.0);
+  t.record(at_us(3), TraceEventKind::kQueueDepth, 10, kTraceNoId, 3.0);
+  t.record(at_us(4), TraceEventKind::kLinkDown, 10);
+  EXPECT_EQ(t.events_of(TraceEventKind::kQueueDepth).size(), 3u);
+  const auto link10 = t.events_of(TraceEventKind::kQueueDepth, 10);
+  ASSERT_EQ(link10.size(), 2u);
+  EXPECT_DOUBLE_EQ(link10[1].value, 3.0);
+  EXPECT_EQ(t.events_of(TraceEventKind::kLinkUp).size(), 0u);
+}
+
+TEST(TracerTest, SeriesExtractsTimeSeries) {
+  Tracer t;
+  t.enable(64);
+  t.record(at_us(1), TraceEventKind::kQueueDepth, 5, kTraceNoId, 100.0);
+  t.record(at_us(2), TraceEventKind::kQueueDepth, 6, kTraceNoId, 999.0);
+  t.record(at_us(3), TraceEventKind::kQueueDepth, 5, kTraceNoId, 300.0);
+  const TimeSeries s = t.series(TraceEventKind::kQueueDepth, 5);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points()[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(s.points()[1].value, 300.0);
+  EXPECT_EQ(s.points()[1].at, at_us(3));
+}
+
+TEST(TracerTest, WatchFiltersLinks) {
+  Tracer t;
+  const LinkId a{3}, b{9};
+  EXPECT_FALSE(t.watching(a));  // disabled tracer watches nothing
+  t.enable(8);
+  EXPECT_FALSE(t.watching(a));
+  t.watch_link(a);
+  EXPECT_TRUE(t.watching(a));
+  EXPECT_FALSE(t.watching(b));
+  t.watch_all_links(true);
+  EXPECT_TRUE(t.watching(b));
+}
+
+TEST(TracerTest, SpanIdsAreMonotonic) {
+  Tracer t;
+  const std::uint32_t s1 = t.begin_span();
+  const std::uint32_t s2 = t.begin_span();
+  EXPECT_LT(s1, s2);
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer t;
+  t.enable(8);
+  t.record(at_us(1), TraceEventKind::kFlowStart, 1);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_TRUE(t.enabled());  // clear does not disable
+}
+
+TEST(TracerTest, CsvHasHeaderAndOneLinePerEvent) {
+  Tracer t;
+  t.enable(8);
+  t.record(at_us(1), TraceEventKind::kFlowStart, 1, kTraceNoId, 4096.0);
+  t.record(at_us(2), TraceEventKind::kCollectiveBegin, 1, 16, 1024.0, "all_reduce");
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_ns,kind,a,b,value,label"), std::string::npos);
+  EXPECT_NE(csv.find("1000,flow_start,1,,4096,"), std::string::npos);
+  EXPECT_NE(csv.find("2000,collective_begin,1,16,1024,all_reduce"), std::string::npos);
+}
+
+TEST(TracerTest, ChromeJsonPairsSpansAndEmitsCounters) {
+  Tracer t;
+  t.enable(16);
+  const std::uint32_t span = t.begin_span();
+  t.record(at_us(1), TraceEventKind::kCollectiveBegin, span, 8, 1e6, "all_reduce");
+  t.record(at_us(5), TraceEventKind::kQueueDepth, 2, kTraceNoId, 4096.0);
+  t.record(at_us(9), TraceEventKind::kCollectiveEnd, span, kTraceNoId, 0.0, "all_reduce");
+  t.record(at_us(10), TraceEventKind::kLinkDown, 2);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\""), 0u);
+  // Async begin/end pair with matching ids.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  // Counter for the queue sample, instant for the link event.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("queue_depth:link2"), std::string::npos);
+  // Balanced delimiters (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TracerTest, SavePicksFormatBySuffix) {
+  Tracer t;
+  t.enable(8);
+  t.record(at_us(1), TraceEventKind::kFlowStart, 1);
+
+  const std::string csv_path = ::testing::TempDir() + "trace_test_out.csv";
+  ASSERT_TRUE(t.save(csv_path));
+  std::ifstream csv{csv_path};
+  std::string first;
+  std::getline(csv, first);
+  EXPECT_EQ(first, "time_ns,kind,a,b,value,label");
+  std::remove(csv_path.c_str());
+
+  const std::string json_path = ::testing::TempDir() + "trace_test_out.json";
+  ASSERT_TRUE(t.save(json_path));
+  std::ifstream json{json_path};
+  std::getline(json, first);
+  EXPECT_EQ(first.rfind("{\"displayTimeUnit\"", 0), 0u);
+  std::remove(json_path.c_str());
+
+  EXPECT_FALSE(t.save("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace hpn::metrics

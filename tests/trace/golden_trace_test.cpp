@@ -1,0 +1,199 @@
+// Golden-trace regression tests: canonical scenarios run at a fixed seed
+// and their tracer event streams must match the checked-in goldens under
+// tests/support/golden/ byte-for-byte. The goldens pin the *semantics* of
+// the probe layer — which layers emit which events, in which order, at
+// which simulated instants — so an accidental probe change (moved hook,
+// changed unit, reordered recompute) fails loudly instead of silently
+// shifting every downstream figure.
+//
+// Regenerating after an intentional change:
+//   HPN_UPDATE_GOLDEN=1 ./test_trace
+// On mismatch the observed stream is written next to the golden as
+// <name>.actual (CI uploads these as artifacts).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flowsim/fluid.h"
+#include "flowsim/session.h"
+#include "metrics/trace.h"
+#include "topo/builders.h"
+#include "train/training_job.h"
+
+#ifndef HPN_GOLDEN_DIR
+#error "HPN_GOLDEN_DIR must point at tests/support/golden"
+#endif
+
+namespace hpn {
+namespace {
+
+/// One line per event, only the allowlisted kinds: "time_ns kind a b value
+/// label". Ids print as '-' when absent; values as %.6g (integer-ns times
+/// and the deterministic simulator make this stable across runs).
+std::string canonical(const metrics::Tracer& tracer,
+                      const std::vector<metrics::TraceEventKind>& kinds) {
+  std::ostringstream os;
+  for (const auto& ev : tracer.events()) {
+    bool keep = false;
+    for (const auto k : kinds) keep |= ev.kind == k;
+    if (!keep) continue;
+    os << ev.at.since_origin().as_nanos() << ' ' << metrics::to_string(ev.kind) << ' ';
+    if (ev.a == metrics::kTraceNoId) {
+      os << '-';
+    } else {
+      os << ev.a;
+    }
+    os << ' ';
+    if (ev.b == metrics::kTraceNoId) {
+      os << '-';
+    } else {
+      os << ev.b;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", ev.value);
+    os << ' ' << buf << ' ' << (ev.label != nullptr ? ev.label : "-") << '\n';
+  }
+  return os.str();
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string{HPN_GOLDEN_DIR} + "/" + name;
+  if (std::getenv("HPN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{path};
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    std::printf("updated golden %s (%zu bytes)\n", path.c_str(), actual.size());
+    return;
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — regenerate with HPN_UPDATE_GOLDEN=1 ./test_trace";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (actual != expected) {
+    const std::string actual_path = path + ".actual";
+    std::ofstream out{actual_path};
+    out << actual;
+    FAIL() << "trace diverged from golden " << path << "\nobserved stream written to "
+           << actual_path << "\nif the change is intentional: HPN_UPDATE_GOLDEN=1 ./test_trace";
+  }
+}
+
+// ---- Scenario 1: the fig18-style failover event sequence -------------------
+//
+// A small training job (32 GPUs / 4 hosts, dual-ToR) loses one NIC-ToR
+// access link mid-run and gets it back one second later. The golden pins
+// the control-plane cascade: iteration/collective spans, link down/up and
+// the per-flow stall/reroute/resume storm, all at exact simulated times.
+std::string run_failover_scenario() {
+  auto cfg = topo::HpnConfig::tiny();
+  cfg.segments_per_pod = 1;
+  cfg.hosts_per_segment = 4;
+  topo::Cluster cluster = topo::build_hpn(cfg);
+  sim::Simulator sim;
+  sim.tracer().enable();
+  flowsim::FlowSession session{cluster.topo, sim};
+  routing::Router router{cluster.topo};
+  ccl::ConnectionManager connections{cluster, router};
+  ctrl::FabricController fabric{cluster, sim, router};
+
+  auto model = workload::llama_7b();
+  model.compute_per_iteration = Duration::millis(100);
+  const auto plan = workload::ParallelismPlanner{cluster}.plan(8, 1, 4);
+  train::TrainingJob job{cluster, sim, session, connections, plan, model};
+
+  job.run_iterations(3);
+  // Fail mid-communication of the next iteration (compute is 100 ms, so
+  // +110 ms lands in the collective phase with flows in flight), repair
+  // 290 ms later while the job is still running.
+  const TimePoint t0 = sim.now();
+  sim.schedule_at(t0 + Duration::millis(110), [&] {
+    fabric.fail_access(plan.hosts[0], 0, 0);
+    job.on_fabric_change();
+  });
+  sim.schedule_at(t0 + Duration::millis(400), [&] {
+    fabric.repair_access(plan.hosts[0], 0, 0);
+    job.on_fabric_change();
+  });
+  job.run_iterations(5);
+
+  return canonical(sim.tracer(),
+                   {metrics::TraceEventKind::kLinkDown, metrics::TraceEventKind::kLinkUp,
+                    metrics::TraceEventKind::kFlowStall, metrics::TraceEventKind::kFlowResume,
+                    metrics::TraceEventKind::kFlowReroute,
+                    metrics::TraceEventKind::kIterationBegin,
+                    metrics::TraceEventKind::kIterationEnd,
+                    metrics::TraceEventKind::kCollectiveBegin,
+                    metrics::TraceEventKind::kCollectiveEnd});
+}
+
+TEST(GoldenTrace, Fig18FailoverEventSequence) {
+  check_golden("fig18_failover.trace", run_failover_scenario());
+}
+
+TEST(GoldenTrace, Fig18FailoverIsDeterministic) {
+  // Two fresh runs in one process must produce identical streams — the
+  // precondition for the golden being meaningful at all.
+  EXPECT_EQ(run_failover_scenario(), run_failover_scenario());
+}
+
+// ---- Scenario 2: fig13-style dual-plane port samples -----------------------
+//
+// Eight 50G gradient-sync flows converge on one dual-plane NIC, spread
+// evenly over its two ports (the fig13 "dual-plane" arm, shrunk). The
+// golden pins the periodic kQueueDepth / kLinkUtilization samples on both
+// ToR->NIC ports: sampling cadence, byte units and fluid-engine dynamics.
+std::string run_dualplane_scenario() {
+  auto cfg = topo::HpnConfig::tiny();
+  cfg.hosts_per_segment = 16;
+  cfg.tor_uplinks = 8;
+  cfg.aggs_per_plane = 8;
+  cfg.dual_plane = true;
+  topo::Cluster c = topo::build_hpn(cfg);
+  routing::Router router{c.topo,
+                         routing::HashConfig{.seeds = routing::SeedPolicy::kIdentical}};
+
+  sim::Simulator s;
+  flowsim::FluidConfig fluid_cfg;
+  fluid_cfg.tick = Duration::micros(200);
+  fluid_cfg.trace_sample_every = 5;  // one sample per link per millisecond
+  flowsim::FluidSimulator fluid{c.topo, s, fluid_cfg};
+
+  const int dst_rank = 16 * 8;  // first host of segment 1, rail 0
+  const auto& dst_att = c.nic_of(dst_rank);
+  for (int i = 0; i < 8; ++i) {
+    const auto& att = c.nic_of(i * 8);
+    const routing::FiveTuple ft{.src_ip = att.nic.value(),
+                                .dst_ip = dst_att.nic.value(),
+                                .src_port = static_cast<std::uint16_t>(7000 + 13 * i)};
+    const routing::Path path =
+        router.trace_via(att.access[static_cast<std::size_t>(i % 2)], dst_att.nic, ft);
+    HPN_CHECK(path.valid());
+    fluid.start_flow(path.links, Bandwidth::gbps(50));
+  }
+
+  s.tracer().enable();
+  s.tracer().watch_link(c.topo.link(dst_att.access[0]).reverse);
+  s.tracer().watch_link(c.topo.link(dst_att.access[1]).reverse);
+  s.run_for(Duration::millis(20));
+
+  return canonical(s.tracer(), {metrics::TraceEventKind::kQueueDepth,
+                                metrics::TraceEventKind::kLinkUtilization});
+}
+
+TEST(GoldenTrace, Fig13DualPlanePortSamples) {
+  check_golden("fig13_dualplane_samples.trace", run_dualplane_scenario());
+}
+
+TEST(GoldenTrace, Fig13DualPlaneIsDeterministic) {
+  EXPECT_EQ(run_dualplane_scenario(), run_dualplane_scenario());
+}
+
+}  // namespace
+}  // namespace hpn
