@@ -6,27 +6,70 @@
 
 namespace hpn::flowsim {
 
+void PacketSimulator::PacketRing::push_back(const Packet& pkt) {
+  if (count_ == buf_.size()) {
+    // Grow by re-linearizing into a fresh buffer (rare: only when a port
+    // exceeds its historical peak depth).
+    std::vector<Packet> grown;
+    grown.reserve(std::max<std::size_t>(8, buf_.size() * 2));
+    for (std::size_t i = 0; i < count_; ++i) grown.push_back(buf_[(head_ + i) % buf_.size()]);
+    grown.resize(grown.capacity());
+    buf_ = std::move(grown);
+    head_ = 0;
+  }
+  buf_[(head_ + count_) % buf_.size()] = pkt;
+  ++count_;
+}
+
+void PacketSimulator::PacketRing::pop_front() {
+  head_ = (head_ + 1) % buf_.size();
+  --count_;
+}
+
 PacketSimulator::PacketSimulator(const topo::Topology& topology, sim::Simulator& simulator,
                                  PacketSimConfig config)
     : topo_{&topology}, sim_{&simulator}, config_{config} {
   HPN_CHECK(config_.mtu > DataSize::zero());
   HPN_CHECK(config_.pfc_xon < config_.pfc_xoff);
+  ports_.resize(topo_->links().size());
   rng_state_ ^= config_.seed;
+}
+
+void PacketSimulator::erase_flow(FlowId id) {
+  const std::uint32_t slot = flow_slot_of_[id.index()];
+  flow_slot_of_[id.index()] = kNoFlowSlot;
+  flow_slots_[slot] = SenderFlow{};  // release path + completion captures promptly
+  flow_free_.push_back(slot);
+  --active_flows_;
 }
 
 FlowId PacketSimulator::start_flow(std::vector<LinkId> path, DataSize size,
                                    Bandwidth line_rate, CompletionFn on_complete) {
   HPN_CHECK(!path.empty());
   HPN_CHECK(size > DataSize::zero());
+  for (const LinkId l : path) {
+    HPN_CHECK_MSG(l.index() < ports_.size(), "flow path uses a link the topology lacks");
+  }
   const FlowId id{next_id_++};
-  SenderFlow f;
+
+  std::uint32_t slot;
+  if (!flow_free_.empty()) {
+    slot = flow_free_.back();
+    flow_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flow_slots_.size());
+    flow_slots_.emplace_back();
+  }
+  if (flow_slot_of_.size() <= id.index()) flow_slot_of_.resize(id.index() + 1, kNoFlowSlot);
+  flow_slot_of_[id.index()] = slot;
+  ++active_flows_;
+
+  SenderFlow& f = flow_slots_[slot];
   f.path = std::move(path);
   f.total_bytes = static_cast<std::int64_t>(size.as_bytes());
   f.rate_bps = line_rate.as_bits_per_sec();
   f.line_rate_bps = f.rate_bps;
   f.on_complete = std::move(on_complete);
-  for (const LinkId l : f.path) ports_.try_emplace(l);
-  flows_.emplace(id, std::move(f));
   sim_->trace(metrics::TraceEventKind::kFlowStart, static_cast<std::uint32_t>(id.value()),
               metrics::kTraceNoId, static_cast<double>(size.as_bytes()), "packet");
   arm_injector(id);
@@ -35,26 +78,25 @@ FlowId PacketSimulator::start_flow(std::vector<LinkId> path, DataSize size,
 }
 
 void PacketSimulator::arm_injector(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  SenderFlow& f = it->second;
-  if (f.injector_armed || f.sent_bytes >= f.total_bytes) return;
-  f.injector_armed = true;
+  SenderFlow* f = find_flow(id);
+  if (f == nullptr) return;
+  if (f->injector_armed || f->sent_bytes >= f->total_bytes) return;
+  f->injector_armed = true;
   const double mtu_bits = static_cast<double>(config_.mtu.as_bits());
-  const Duration gap = Duration::seconds(mtu_bits / std::max(1e6, f.rate_bps));
+  const Duration gap = Duration::seconds(mtu_bits / std::max(1e6, f->rate_bps));
   sim_->schedule_after(gap, [this, id] {
-    auto fit = flows_.find(id);
-    if (fit == flows_.end()) return;
-    fit->second.injector_armed = false;
+    SenderFlow* flow = find_flow(id);
+    if (flow == nullptr) return;
+    flow->injector_armed = false;
     inject_next(id);
   });
 }
 
 void PacketSimulator::inject_next(FlowId id) {
-  SenderFlow& f = flows_.at(id);
+  SenderFlow& f = *find_flow(id);
   if (f.sent_bytes >= f.total_bytes) return;
   // NIC-side backpressure: a full first-hop buffer stalls the injector.
-  const PortState& first = ports_.at(f.path.front());
+  const PortState& first = port(f.path.front());
   if (first.queued_bytes + config_.mtu.as_bits() / 8 >
       static_cast<std::int64_t>(config_.port_buffer.as_bytes())) {
     arm_injector(id);
@@ -81,21 +123,21 @@ double PacketSimulator::mark_probability(std::int64_t queue_bytes) const {
 }
 
 void PacketSimulator::enqueue(LinkId link, Packet pkt) {
-  PortState& port = ports_.at(link);
+  PortState& p = port(link);
   const auto buffer = static_cast<std::int64_t>(config_.port_buffer.as_bytes());
-  if (port.queued_bytes + pkt.bytes > buffer) {
+  if (p.queued_bytes + pkt.bytes > buffer) {
     if (!config_.pfc) {
       // Tail drop; the sender will re-inject the bytes after its timeout.
-      ++port.drops;
+      ++p.drops;
       sim_->trace(metrics::TraceEventKind::kPacketDrop,
                   static_cast<std::uint32_t>(link.value()),
                   static_cast<std::uint32_t>(pkt.flow.value()),
                   static_cast<double>(pkt.bytes));
       sim_->schedule_after(config_.retransmit_timeout, [this, id = pkt.flow,
                                                         bytes = pkt.bytes] {
-        auto it = flows_.find(id);
-        if (it == flows_.end()) return;
-        it->second.sent_bytes -= bytes;  // go-back: bytes go out again
+        SenderFlow* f = find_flow(id);
+        if (f == nullptr) return;
+        f->sent_bytes -= bytes;  // go-back: bytes go out again
         arm_injector(id);
       });
       return;
@@ -109,31 +151,35 @@ void PacketSimulator::enqueue(LinkId link, Packet pkt) {
   rng_state_ ^= rng_state_ >> 7;
   rng_state_ ^= rng_state_ << 17;
   const double u = static_cast<double>(rng_state_ >> 11) / 9007199254740992.0;
-  if (u < mark_probability(port.queued_bytes)) {
+  if (u < mark_probability(p.queued_bytes)) {
     pkt.ecn_marked = true;
     ++ecn_marks_;
   }
 
-  port.queued_bytes += pkt.bytes;
-  port.queue.push_back(pkt);
+  p.queued_bytes += pkt.bytes;
+  p.queue.push_back(pkt);
   if (sim_->tracer().watching(link)) {
     sim_->trace(metrics::TraceEventKind::kQueueDepth,
                 static_cast<std::uint32_t>(link.value()), metrics::kTraceNoId,
-                static_cast<double>(port.queued_bytes));
+                static_cast<double>(p.queued_bytes));
   }
-  if (config_.pfc && port.queued_bytes > static_cast<std::int64_t>(config_.pfc_xoff.as_bytes())) {
-    pause_upstream(port, pkt);
+  if (config_.pfc && p.queued_bytes > static_cast<std::int64_t>(config_.pfc_xoff.as_bytes())) {
+    pause_upstream(p, pkt);
   }
   try_transmit(link);
 }
 
 void PacketSimulator::pause_upstream(PortState& down, const Packet& pkt) {
   if (pkt.hop == 0) return;  // the NIC injector backpressures via buffer
-  const auto it = flows_.find(pkt.flow);
-  if (it == flows_.end()) return;
-  const LinkId upstream = it->second.path[pkt.hop - 1];
-  down.paused_upstreams.insert(upstream);
-  PortState& up = ports_.at(upstream);
+  const SenderFlow* f = find_flow(pkt.flow);
+  if (f == nullptr) return;
+  const LinkId upstream = f->path[pkt.hop - 1];
+  const auto pos =
+      std::lower_bound(down.paused_upstreams.begin(), down.paused_upstreams.end(), upstream);
+  if (pos == down.paused_upstreams.end() || *pos != upstream) {
+    down.paused_upstreams.insert(pos, upstream);
+  }
+  PortState& up = port(upstream);
   if (!up.paused) {
     up.paused = true;
     up.paused_since = sim_->now();
@@ -144,7 +190,7 @@ void PacketSimulator::pause_upstream(PortState& down, const Packet& pkt) {
 
 void PacketSimulator::resume_all(PortState& down) {
   for (const LinkId upstream : down.paused_upstreams) {
-    PortState& up = ports_.at(upstream);
+    PortState& up = port(upstream);
     if (up.paused) {
       up.paused = false;
       up.total_paused += sim_->now() - up.paused_since;
@@ -157,29 +203,29 @@ void PacketSimulator::resume_all(PortState& down) {
 }
 
 void PacketSimulator::try_transmit(LinkId link) {
-  PortState& port = ports_.at(link);
-  if (port.transmitting || port.paused || port.queue.empty()) return;
-  port.transmitting = true;
-  const Packet pkt = port.queue.front();
+  PortState& p = port(link);
+  if (p.transmitting || p.paused || p.queue.empty()) return;
+  p.transmitting = true;
+  const Packet pkt = p.queue.front();
   const topo::Link& l = topo_->link(link);
   const Duration serialize = DataSize::bytes(pkt.bytes) / l.capacity;
   sim_->schedule_after(serialize, [this, link] {
-    PortState& p = ports_.at(link);
-    p.transmitting = false;
-    HPN_CHECK(!p.queue.empty());
-    const Packet sent = p.queue.front();
-    p.queue.pop_front();
-    p.queued_bytes -= sent.bytes;
-    p.tx_bytes += static_cast<std::uint64_t>(sent.bytes);
+    PortState& out = port(link);
+    out.transmitting = false;
+    HPN_CHECK(!out.queue.empty());
+    const Packet sent = out.queue.front();
+    out.queue.pop_front();
+    out.queued_bytes -= sent.bytes;
+    out.tx_bytes += static_cast<std::uint64_t>(sent.bytes);
     if (sim_->tracer().watching(link)) {
       sim_->trace(metrics::TraceEventKind::kQueueDepth,
                   static_cast<std::uint32_t>(link.value()), metrics::kTraceNoId,
-                  static_cast<double>(p.queued_bytes));
+                  static_cast<double>(out.queued_bytes));
     }
     // PFC resume when the queue drains below Xon: wake every paused feeder.
     if (config_.pfc &&
-        p.queued_bytes < static_cast<std::int64_t>(config_.pfc_xon.as_bytes())) {
-      resume_all(p);
+        out.queued_bytes < static_cast<std::int64_t>(config_.pfc_xon.as_bytes())) {
+      resume_all(out);
     }
     const Duration propagation = topo_->link(link).latency;
     sim_->schedule_after(propagation, [this, link, sent] { packet_arrived(link, sent); });
@@ -189,31 +235,29 @@ void PacketSimulator::try_transmit(LinkId link) {
 
 void PacketSimulator::packet_arrived(LinkId link, Packet pkt) {
   (void)link;
-  auto it = flows_.find(pkt.flow);
-  if (it == flows_.end()) return;  // flow already completed (late duplicate)
-  SenderFlow& f = it->second;
+  SenderFlow* f = find_flow(pkt.flow);
+  if (f == nullptr) return;  // flow already completed (late duplicate)
   pkt.hop += 1;
-  if (pkt.hop >= f.path.size()) {
+  if (pkt.hop >= f->path.size()) {
     deliver(pkt);
     return;
   }
-  enqueue(f.path[pkt.hop], pkt);
+  enqueue(f->path[pkt.hop], pkt);
 }
 
 void PacketSimulator::deliver(Packet pkt) {
-  auto it = flows_.find(pkt.flow);
-  if (it == flows_.end()) return;
-  SenderFlow& f = it->second;
+  SenderFlow* f = find_flow(pkt.flow);
+  if (f == nullptr) return;
   ++delivered_packets_;
-  f.delivered_bytes += pkt.bytes;
+  f->delivered_bytes += pkt.bytes;
   if (pkt.ecn_marked) {
     // CNP back to the sender (reverse path propagation, a few us).
     sim_->schedule_after(Duration::micros(5), [this, id = pkt.flow] { handle_cnp(id); });
   }
-  if (f.delivered_bytes >= f.total_bytes) {
-    auto done = std::move(f.on_complete);
+  if (f->delivered_bytes >= f->total_bytes) {
+    auto done = std::move(f->on_complete);
     const FlowId id = pkt.flow;
-    flows_.erase(id);
+    erase_flow(id);
     sim_->trace(metrics::TraceEventKind::kFlowFinish, static_cast<std::uint32_t>(id.value()),
                 metrics::kTraceNoId, 0.0, "packet");
     if (done) done(id);
@@ -221,50 +265,48 @@ void PacketSimulator::deliver(Packet pkt) {
 }
 
 void PacketSimulator::handle_cnp(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  SenderFlow& f = it->second;
-  f.alpha = (1.0 - config_.dcqcn_alpha_g) * f.alpha + config_.dcqcn_alpha_g;
-  f.rate_bps = std::max(1e9, f.rate_bps * (1.0 - f.alpha / 2.0));
+  SenderFlow* f = find_flow(id);
+  if (f == nullptr) return;
+  f->alpha = (1.0 - config_.dcqcn_alpha_g) * f->alpha + config_.dcqcn_alpha_g;
+  f->rate_bps = std::max(1e9, f->rate_bps * (1.0 - f->alpha / 2.0));
 }
 
 void PacketSimulator::rate_increase_tick(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  SenderFlow& f = it->second;
-  f.alpha *= 1.0 - config_.dcqcn_alpha_g;
-  f.rate_bps =
-      std::min(f.line_rate_bps, f.rate_bps + config_.dcqcn_ai.as_bits_per_sec());
+  SenderFlow* f = find_flow(id);
+  if (f == nullptr) return;
+  f->alpha *= 1.0 - config_.dcqcn_alpha_g;
+  f->rate_bps =
+      std::min(f->line_rate_bps, f->rate_bps + config_.dcqcn_ai.as_bits_per_sec());
   sim_->schedule_after(config_.dcqcn_rate_increase_period,
                        [this, id] { rate_increase_tick(id); });
 }
 
 DataSize PacketSimulator::queue_of(LinkId link) const {
-  const auto it = ports_.find(link);
-  return it == ports_.end() ? DataSize::zero() : DataSize::bytes(it->second.queued_bytes);
+  const PortState* p = find_port(link);
+  return p == nullptr ? DataSize::zero() : DataSize::bytes(p->queued_bytes);
 }
 
 std::uint64_t PacketSimulator::tx_bytes_on(LinkId link) const {
-  const auto it = ports_.find(link);
-  return it == ports_.end() ? 0 : it->second.tx_bytes;
+  const PortState* p = find_port(link);
+  return p == nullptr ? 0 : p->tx_bytes;
 }
 
 std::uint64_t PacketSimulator::drops_on(LinkId link) const {
-  const auto it = ports_.find(link);
-  return it == ports_.end() ? 0 : it->second.drops;
+  const PortState* p = find_port(link);
+  return p == nullptr ? 0 : p->drops;
 }
 
 Duration PacketSimulator::paused_time(LinkId link) const {
-  const auto it = ports_.find(link);
-  if (it == ports_.end()) return Duration::zero();
-  Duration total = it->second.total_paused;
-  if (it->second.paused) total += sim_->now() - it->second.paused_since;
+  const PortState* p = find_port(link);
+  if (p == nullptr) return Duration::zero();
+  Duration total = p->total_paused;
+  if (p->paused) total += sim_->now() - p->paused_since;
   return total;
 }
 
 Bandwidth PacketSimulator::flow_rate(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? Bandwidth::zero() : Bandwidth::bits_per_sec(it->second.rate_bps);
+  const SenderFlow* f = find_flow(id);
+  return f == nullptr ? Bandwidth::zero() : Bandwidth::bits_per_sec(f->rate_bps);
 }
 
 }  // namespace hpn::flowsim

@@ -10,14 +10,20 @@
 // head-of-line blocking, and (in lossy mode) tail drops with timeout
 // retransmission.
 //
+// Hot-path state is dense: ports_ is a LinkId-indexed flat vector (every
+// per-packet touch is an array index, mirroring the max-min solver's
+// layout), per-port FIFOs are capacity-retaining rings, and flows live in
+// a slot map so FlowIds stay stable while storage is recycled. Combined
+// with the simulator's pooled events, steady-state forwarding does not
+// allocate.
+//
 // Use it for micro-scenarios (incast, HoL victims, engine cross-
 // validation); the flow-level engines cover cluster scale.
 #pragma once
 
-#include <deque>
-#include <set>
+#include <algorithm>
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -65,7 +71,7 @@ class PacketSimulator {
   [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
   [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_packets_; }
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return active_flows_; }
 
  private:
   struct Packet {
@@ -76,8 +82,23 @@ class PacketSimulator {
     std::size_t hop = 0;  ///< Index into the flow's path.
   };
 
+  /// FIFO ring that keeps its capacity across drain cycles, so a port that
+  /// once held k packets never allocates again until it exceeds k.
+  class PacketRing {
+   public:
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] const Packet& front() const { return buf_[head_]; }
+    void push_back(const Packet& pkt);
+    void pop_front();
+
+   private:
+    std::vector<Packet> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   struct PortState {
-    std::deque<Packet> queue;
+    PacketRing queue;
     std::int64_t queued_bytes = 0;
     bool transmitting = false;
     bool paused = false;
@@ -86,21 +107,44 @@ class PacketSimulator {
     std::uint64_t drops = 0;
     std::uint64_t tx_bytes = 0;
     /// Upstream egress ports this (downstream) queue has PFC-paused.
-    std::set<LinkId> paused_upstreams;
+    /// Sorted ascending (the resume sweep order is part of the determinism
+    /// contract — it matches the seed engine's std::set iteration).
+    std::vector<LinkId> paused_upstreams;
   };
 
+  /// Field order is deliberate: everything the per-packet path touches
+  /// (inject/ack bookkeeping, current rate, the path vector header) packs
+  /// into the first cache line; DCQCN state and the completion callback —
+  /// touched per CNP / per flow — sit in the second.
   struct SenderFlow {
-    std::vector<LinkId> path;
     std::int64_t total_bytes = 0;
     std::int64_t sent_bytes = 0;        ///< Injected (first transmission).
     std::int64_t delivered_bytes = 0;   ///< Acknowledged at destination.
     double rate_bps = 0.0;
-    double line_rate_bps = 0.0;
-    double alpha = 1.0;
     std::uint32_t next_seq = 0;
     bool injector_armed = false;
+    std::vector<LinkId> path;
+    double line_rate_bps = 0.0;
+    double alpha = 1.0;
     CompletionFn on_complete;
   };
+
+  static constexpr std::uint32_t kNoFlowSlot = 0xFFFFFFFFu;
+
+  [[nodiscard]] PortState& port(LinkId link) { return ports_[link.index()]; }
+  [[nodiscard]] const PortState* find_port(LinkId link) const {
+    return link.index() < ports_.size() ? &ports_[link.index()] : nullptr;
+  }
+  /// nullptr once the flow completed (late duplicates, stale timers).
+  [[nodiscard]] SenderFlow* find_flow(FlowId id) {
+    const std::size_t i = id.index();
+    if (i >= flow_slot_of_.size() || flow_slot_of_[i] == kNoFlowSlot) return nullptr;
+    return &flow_slots_[flow_slot_of_[i]];
+  }
+  [[nodiscard]] const SenderFlow* find_flow(FlowId id) const {
+    return const_cast<PacketSimulator*>(this)->find_flow(id);
+  }
+  void erase_flow(FlowId id);
 
   void arm_injector(FlowId id);
   void inject_next(FlowId id);
@@ -122,8 +166,11 @@ class PacketSimulator {
   const topo::Topology* topo_;
   sim::Simulator* sim_;
   PacketSimConfig config_;
-  std::unordered_map<LinkId, PortState> ports_;
-  std::unordered_map<FlowId, SenderFlow> flows_;
+  std::vector<PortState> ports_;  ///< LinkId-indexed, one entry per topology link.
+  std::vector<SenderFlow> flow_slots_;
+  std::vector<std::uint32_t> flow_free_;     ///< Recyclable flow_slots_ indices.
+  std::vector<std::uint32_t> flow_slot_of_;  ///< FlowId value -> slot (kNoFlowSlot if done).
+  std::size_t active_flows_ = 0;
   FlowId::underlying next_id_ = 1;
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t delivered_packets_ = 0;

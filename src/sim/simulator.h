@@ -3,27 +3,48 @@
 // A Simulator owns a virtual clock and an event queue. Events scheduled for
 // the same instant fire in scheduling order (FIFO by sequence number), so a
 // run is fully deterministic for a given seed and schedule.
+//
+// The queue is built for the packet engine's per-packet-per-hop event rate:
+// events live in a slab-allocated pool of reusable slots (no shared_ptr, no
+// per-event heap allocation when the callback captures fit inline), and
+// EventId handles carry a slot generation so cancel() of a recycled slot is
+// an O(1) tombstone that can never hit the wrong event. Cancelled slots
+// stay referenced by the queue until lazily popped; when tombstones outgrow
+// the live events the queue is compacted in place, so cancel-heavy
+// workloads (timer re-arm churn) keep the pool bounded.
+//
+// The ready queue is a calendar queue (htsim/ns-3 lineage): near-future
+// events append O(1) into 512 ns wheel buckets, only the *current* bucket
+// is kept heap-ordered (a tiny, cache-hot 4-ary heap), and events beyond
+// the ~1 ms wheel horizon sit in an overflow 4-ary heap that is drained
+// into the wheel as the cursor advances. Pop order is exactly (time, seq)
+// — identical to one global min-heap — so the determinism contract (same
+// seed + schedule => same event order) is a property of the structure, not
+// of tuning.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
 #include "metrics/trace.h"
+#include "sim/inline_callback.h"
 
 namespace hpn::sim {
 
+/// Opaque event handle: low 32 bits slot index, high 32 bits the slot's
+/// generation at scheduling time (generations start at 1, so 0 is never a
+/// valid handle). A handle goes stale the moment its event fires or is
+/// cancelled; stale handles fail cancel() even after the slot is recycled.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -59,11 +80,19 @@ class Simulator {
   /// Run for `d` more simulated time.
   void run_for(Duration d) { run_until(now_ + d); }
 
-  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
 
   /// Time of the next pending event, or TimePoint::far_future() if none.
   [[nodiscard]] TimePoint next_event_time() const;
+
+  /// Slots ever allocated in the event pool (capacity, not live events).
+  /// Bounded by peak live events + compaction slack, not by total events
+  /// scheduled — the pool-bound tests pin this.
+  [[nodiscard]] std::size_t event_pool_slots() const { return pool_.size(); }
+
+  /// Cancelled events still occupying heap entries (lazily reclaimed).
+  [[nodiscard]] std::size_t pending_tombstones() const { return tombstones_; }
 
   /// Simulation-wide trace sink. Disabled by default; every layer that holds
   /// a Simulator& records through this (see metrics/trace.h).
@@ -78,29 +107,94 @@ class Simulator {
   }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Calendar-queue geometry: 2048 buckets of 512 ns each, so the wheel
+  /// spans ~1.05 ms — wide enough that the packet engine's event horizon
+  /// (serialization gaps through retransmit timers) stays on the wheel.
+  static constexpr int kBucketShift = 9;  ///< 512 ns per bucket
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << 11;
+  static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+
+  /// Exactly one cache line: 48-byte callback + metadata. Pops touch slots
+  /// in heap order (effectively random across a pool that can dwarf L2), so
+  /// one line per slot halves the miss bill of the old 80-byte layout.
+  struct alignas(64) Slot {
+    InlineCallback fn;
+    std::uint32_t gen = 1;
+    bool armed = false;  ///< Scheduled and neither fired nor cancelled.
+    std::uint32_t next_free = kNoSlot;
+  };
+  static_assert(sizeof(Slot) == 64, "slot must stay a single cache line");
+
+  /// Heap entries carry their (time, seq) key inline so sift compares touch
+  /// only the contiguous heap array, never the pool — the pool is consulted
+  /// once per pop (armed check + callback), not once per comparison.
+  struct HeapEntry {
     TimePoint at;
-    std::uint64_t seq = 0;
-    Callback fn;
-    bool cancelled = false;
+    std::uint64_t seq = 0;  ///< Keeps ordering stable even for tombstones.
+    std::uint32_t slot = kNoSlot;
   };
 
-  struct QueueOrder {
-    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
-      if (a->at != b->at) return a->at > b->at;  // min-heap on time
-      return a->seq > b->seq;                    // then FIFO
-    }
-  };
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
 
-  /// Pops tombstoned events off the queue head.
-  void drop_cancelled();
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;  // min-heap on time
+    return a.seq < b.seq;                  // then FIFO
+  }
+
+  static std::int64_t bucket_no(TimePoint t) {
+    return t.as_nanos() >> kBucketShift;
+  }
+
+  std::uint32_t alloc_slot();
+  void recycle_slot(std::uint32_t slot);
+
+  static void sift_up(std::vector<HeapEntry>& h, std::size_t i);
+  static void sift_down(std::vector<HeapEntry>& h, std::size_t i);
+  static HeapEntry heap_pop(std::vector<HeapEntry>& h);
+
+  void occ_set(std::size_t idx) { occ_[idx >> 6] |= std::uint64_t{1} << (idx & 63); }
+  void occ_clear(std::size_t idx) { occ_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63)); }
+
+  /// Route an entry to near_ / its wheel bucket / far_ by bucket number.
+  void insert_entry(const HeapEntry& e);
+  /// With near_ empty, advance the cursor to the earliest occupied bucket
+  /// (draining overflow entries that slid into the window). False = drained.
+  bool refill();
+  /// Earliest occupied absolute bucket after cur_bucket_, or -1 if none.
+  [[nodiscard]] std::int64_t scan_buckets() const;
+  /// Earliest *armed* entry without removing it (reclaims tombstones off the
+  /// head on the way), or nullptr when the queue is empty.
+  const HeapEntry* peek();
+  /// Pop the earliest *armed* entry, reclaiming tombstones on the way.
+  /// Returns an entry with slot == kNoSlot when the queue is empty.
+  HeapEntry heap_pop_live();
+  /// Rebuild the queue without tombstones once they outnumber live events.
+  void maybe_compact();
 
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
-  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, QueueOrder>
-      queue_;
-  std::unordered_map<EventId, std::shared_ptr<Event>> live_;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::vector<Slot> pool_;
+  std::uint32_t free_head_ = kNoSlot;
+
+  /// Calendar queue: near_ is a 4-ary min-heap over every pending entry with
+  /// bucket_no(at) <= cur_bucket_ (entries in distinct buckets can never
+  /// interleave in time, so near_ always holds the global minimum); wheel
+  /// buckets are unsorted O(1)-append vectors for entries within the
+  /// horizon; far_ is a 4-ary min-heap for entries beyond it. occ_ is an
+  /// occupancy bitmap so the cursor skips empty buckets a word at a time.
+  std::vector<HeapEntry> near_;
+  std::vector<std::vector<HeapEntry>> buckets_ =
+      std::vector<std::vector<HeapEntry>>(kNumBuckets);
+  std::array<std::uint64_t, kNumBuckets / 64> occ_{};
+  std::vector<HeapEntry> far_;
+  std::int64_t cur_bucket_ = 0;
   metrics::Tracer tracer_;
 };
 

@@ -1,5 +1,7 @@
 #include "workload/storage.h"
 
+#include <memory>
+
 #include "common/check.h"
 
 namespace hpn::workload {

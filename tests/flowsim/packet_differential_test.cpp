@@ -1,0 +1,223 @@
+// Differential suite: the dense packet engine (flat LinkId-indexed ports,
+// flow slot map, ring FIFOs, pooled events) must be *bit-identical* to the
+// seed engine (tests/support/reference_packet.h) — same RNG draw sequence,
+// same scheduled-event count, same delivered/ECN/PFC/drop counters, same
+// per-flow completion nanoseconds. Any divergence is a bug in the rewrite,
+// never a tolerance question.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/packet.h"
+#include "tests/support/reference_packet.h"
+#include "tests/support/reference_simulator.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+namespace {
+
+using topo::LinkKind;
+using topo::NodeKind;
+using topo::Topology;
+
+/// Star through one ToR: n sender NICs -> ToR -> one destination NIC, plus
+/// a victim NIC on its own egress (HoL coverage), all duplex.
+struct StarTopo {
+  Topology t;
+  std::vector<LinkId> up;
+  LinkId bottleneck{};
+  LinkId victim_egress{};
+
+  explicit StarTopo(int senders, Bandwidth rate = Bandwidth::gbps(100)) {
+    const NodeId tor = t.add_node(NodeKind::kTor, "tor");
+    const NodeId dst = t.add_node(NodeKind::kNic, "dst");
+    const NodeId vic = t.add_node(NodeKind::kNic, "vic");
+    for (int i = 0; i < senders; ++i) {
+      const NodeId nic = t.add_node(NodeKind::kNic, "src" + std::to_string(i));
+      up.push_back(
+          t.add_duplex_link(nic, tor, LinkKind::kAccess, rate, Duration::micros(1)).forward);
+    }
+    bottleneck =
+        t.add_duplex_link(tor, dst, LinkKind::kAccess, rate, Duration::micros(1)).forward;
+    victim_egress =
+        t.add_duplex_link(tor, vic, LinkKind::kAccess, rate, Duration::micros(1)).forward;
+  }
+};
+
+/// Two-hop chain: NIC -> sw1 -> sw2 -> NIC, second hop slower (deep queue).
+struct ChainTopo {
+  Topology t;
+  std::vector<LinkId> hops;
+
+  ChainTopo() {
+    const NodeId a = t.add_node(NodeKind::kNic, "a");
+    const NodeId s1 = t.add_node(NodeKind::kTor, "s1");
+    const NodeId s2 = t.add_node(NodeKind::kAgg, "s2");
+    const NodeId b = t.add_node(NodeKind::kNic, "b");
+    hops.push_back(t.add_duplex_link(a, s1, LinkKind::kAccess, Bandwidth::gbps(100),
+                                     Duration::micros(1))
+                       .forward);
+    hops.push_back(t.add_duplex_link(s1, s2, LinkKind::kFabric, Bandwidth::gbps(100),
+                                     Duration::micros(2))
+                       .forward);
+    hops.push_back(t.add_duplex_link(s2, b, LinkKind::kAccess, Bandwidth::gbps(40),
+                                     Duration::micros(1))
+                       .forward);
+  }
+};
+
+struct FlowSpec {
+  std::vector<LinkId> path;
+  DataSize size;
+  Bandwidth rate;
+};
+
+struct RunResult {
+  std::uint64_t events = 0;  ///< Simulator events processed — a full-order proxy.
+  std::uint64_t delivered = 0;
+  std::uint64_t ecn = 0;
+  std::size_t active = 0;
+  std::vector<std::uint64_t> tx;     ///< Per measured link.
+  std::vector<std::uint64_t> drops;
+  std::vector<std::int64_t> paused_ns;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> completions;  ///< (flow, ns)
+
+  bool operator==(const RunResult&) const = default;
+};
+
+template <typename Sim, typename Engine>
+RunResult run_engine(const Topology& topo, const PacketSimConfig& cfg,
+                     const std::vector<FlowSpec>& flows,
+                     const std::vector<LinkId>& measured, Duration horizon) {
+  Sim s;
+  Engine eng{topo, s, cfg};
+  RunResult r;
+  for (const FlowSpec& f : flows) {
+    eng.start_flow(f.path, f.size, f.rate, [&r, &s](FlowId id) {
+      r.completions.emplace_back(id.value(), s.now().as_nanos());
+    });
+  }
+  s.run_for(horizon);
+  r.events = s.processed_events();
+  r.delivered = eng.packets_delivered();
+  r.ecn = eng.ecn_marks();
+  r.active = eng.active_flows();
+  for (const LinkId l : measured) {
+    r.tx.push_back(eng.tx_bytes_on(l));
+    r.drops.push_back(eng.drops_on(l));
+    r.paused_ns.push_back((eng.paused_time(l) - Duration::zero()).as_nanos());
+  }
+  return r;
+}
+
+void expect_identical(const Topology& topo, const PacketSimConfig& cfg,
+                      const std::vector<FlowSpec>& flows,
+                      const std::vector<LinkId>& measured, Duration horizon) {
+  const RunResult dense =
+      run_engine<sim::Simulator, PacketSimulator>(topo, cfg, flows, measured, horizon);
+  const RunResult seed =
+      run_engine<sim::testing::ReferenceSimulator, testing::ReferencePacketSimulator>(
+          topo, cfg, flows, measured, horizon);
+  EXPECT_EQ(dense.events, seed.events);
+  EXPECT_EQ(dense.delivered, seed.delivered);
+  EXPECT_EQ(dense.ecn, seed.ecn);
+  EXPECT_EQ(dense.active, seed.active);
+  EXPECT_EQ(dense.tx, seed.tx);
+  EXPECT_EQ(dense.drops, seed.drops);
+  EXPECT_EQ(dense.paused_ns, seed.paused_ns);
+  EXPECT_EQ(dense.completions, seed.completions);
+  EXPECT_GT(dense.events, 0u);
+}
+
+TEST(PacketDifferential, SingleFlowBitIdentical) {
+  ChainTopo c;
+  std::vector<FlowSpec> flows{{c.hops, DataSize::megabytes(5), Bandwidth::gbps(100)}};
+  expect_identical(c.t, PacketSimConfig{}, flows, c.hops, Duration::millis(10));
+}
+
+TEST(PacketDifferential, PfcIncastBitIdentical) {
+  // The fig13/14-style scenario: 8 senders into one egress, lossless. PFC
+  // pause/resume, ECN marking, and DCQCN all exercise the RNG and the
+  // paused-feeder sweep whose order the rewrite must preserve.
+  StarTopo star{8};
+  PacketSimConfig cfg;
+  cfg.ecn_kmin = DataSize::kilobytes(10);
+  cfg.ecn_kmax = DataSize::kilobytes(200);
+  std::vector<FlowSpec> flows;
+  for (const LinkId upl : star.up) {
+    flows.push_back({{upl, star.bottleneck}, DataSize::megabytes(8), Bandwidth::gbps(100)});
+  }
+  flows.push_back({{star.up[0], star.victim_egress}, DataSize::megabytes(8),
+                   Bandwidth::gbps(100)});
+  std::vector<LinkId> measured = star.up;
+  measured.push_back(star.bottleneck);
+  measured.push_back(star.victim_egress);
+  expect_identical(star.t, cfg, flows, measured, Duration::millis(8));
+}
+
+TEST(PacketDifferential, LossyDropsAndRetransmitsBitIdentical) {
+  // Lossy mode with a small buffer: tail drops + go-back retransmission
+  // timers. Exercises the drop path and late-duplicate handling.
+  StarTopo star{6};
+  PacketSimConfig cfg;
+  cfg.pfc = false;
+  cfg.port_buffer = DataSize::kilobytes(64);
+  cfg.ecn_kmin = DataSize::kilobytes(8);
+  cfg.ecn_kmax = DataSize::kilobytes(48);
+  std::vector<FlowSpec> flows;
+  for (const LinkId upl : star.up) {
+    flows.push_back({{upl, star.bottleneck}, DataSize::megabytes(2), Bandwidth::gbps(100)});
+  }
+  std::vector<LinkId> measured = star.up;
+  measured.push_back(star.bottleneck);
+  expect_identical(star.t, cfg, flows, measured, Duration::millis(6));
+}
+
+TEST(PacketDifferential, FlowSlotRecyclingBitIdentical) {
+  // Staggered short flows force completion + slot reuse while traffic is
+  // in flight; FlowIds must stay stable and stats identical.
+  ChainTopo c;
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < 12; ++i) {
+    flows.push_back({c.hops, DataSize::kilobytes(64 + 32 * (i % 5)), Bandwidth::gbps(100)});
+  }
+  expect_identical(c.t, PacketSimConfig{}, flows, c.hops, Duration::millis(20));
+}
+
+class PacketDifferentialRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PacketDifferentialRandom, RandomizedScenariosBitIdentical) {
+  Rng rng{GetParam()};
+  StarTopo star{10, Bandwidth::gbps(50)};
+  PacketSimConfig cfg;
+  cfg.pfc = rng.bernoulli(0.5);
+  cfg.port_buffer = DataSize::kilobytes(rng.uniform_int(96, 512));
+  cfg.pfc_xoff = DataSize::kilobytes(64);
+  cfg.pfc_xon = DataSize::kilobytes(32);
+  cfg.ecn_kmin = DataSize::kilobytes(rng.uniform_int(4, 20));
+  cfg.ecn_kmax = DataSize::kilobytes(rng.uniform_int(40, 90));
+  cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+  std::vector<FlowSpec> flows;
+  const int n = static_cast<int>(rng.uniform_int(3, 10));
+  for (int i = 0; i < n; ++i) {
+    const auto src = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(star.up.size()) - 1));
+    const LinkId egress = rng.bernoulli(0.8) ? star.bottleneck : star.victim_egress;
+    flows.push_back({{star.up[src], egress},
+                     DataSize::kilobytes(rng.uniform_int(100, 4'000)),
+                     Bandwidth::gbps(static_cast<double>(rng.uniform_int(20, 50)))});
+  }
+  std::vector<LinkId> measured = star.up;
+  measured.push_back(star.bottleneck);
+  measured.push_back(star.victim_egress);
+  expect_identical(star.t, cfg, flows, measured, Duration::millis(5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketDifferentialRandom,
+                         ::testing::Values(3u, 11u, 29u, 101u, 4242u, 90210u));
+
+}  // namespace
+}  // namespace hpn::flowsim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace hpn::sim {
@@ -63,6 +65,82 @@ TEST(Simulator, CancelPreventsExecution) {
 TEST(Simulator, CancelUnknownReturnsFalse) {
   Simulator s;
   EXPECT_FALSE(s.cancel(9999));
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  // A slot index far beyond anything allocated.
+  EXPECT_FALSE(s.cancel((std::uint64_t{1} << 32) | 0xFFFFFFu));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator s;
+  const EventId id = s.schedule_after(Duration::nanos(1), [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, ScheduleNowInsideEventFiresAtSameInstantAfterQueued) {
+  // schedule_now from within a callback must run at the current instant,
+  // after everything already queued for that instant (FIFO by seq).
+  Simulator s;
+  std::vector<int> order;
+  const auto t = TimePoint::at_nanos(7);
+  s.schedule_at(t, [&] {
+    order.push_back(1);
+    s.schedule_now([&] { order.push_back(3); });
+  });
+  s.schedule_at(t, [&] { order.push_back(2); });
+  s.schedule_at(TimePoint::at_nanos(8), [&] { order.push_back(4); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilRunsEventsCascadedWithinBound) {
+  // Events scheduled *during* run_until must also run if they land at or
+  // before the bound, and the clock must end exactly at the bound.
+  Simulator s;
+  std::vector<std::int64_t> fired;
+  s.schedule_at(TimePoint::at_nanos(10), [&] {
+    fired.push_back(s.now().as_nanos());
+    s.schedule_after(Duration::nanos(5), [&] { fired.push_back(s.now().as_nanos()); });
+    s.schedule_after(Duration::nanos(50), [&] { fired.push_back(s.now().as_nanos()); });
+  });
+  s.run_until(TimePoint::at_nanos(20));
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{10, 15}));
+  EXPECT_EQ(s.now().as_nanos(), 20);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired.back(), 60);
+}
+
+TEST(Simulator, LargeCaptureFallsBackToHeapAndStillFires) {
+  // Captures beyond the inline budget must spill to the heap transparently.
+  Simulator s;
+  std::array<std::uint64_t, 16> payload{};  // 128 B > kInlineBytes
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 3 + 1;
+  std::uint64_t sum = 0;
+  Simulator::Callback cb{[payload, &sum] {
+    for (const auto v : payload) sum += v;
+  }};
+  EXPECT_TRUE(cb.heap_allocated());
+  s.schedule_after(Duration::nanos(1), std::move(cb));
+  s.run();
+  EXPECT_EQ(sum, 16u * 15u * 3u / 2u + 16u);
+}
+
+TEST(Simulator, SmallCaptureStaysInline) {
+  int x = 0;
+  Simulator::Callback cb{[&x] { ++x; }};
+  EXPECT_FALSE(cb.heap_allocated());
+}
+
+TEST(Simulator, CancelReleasesCapturesPromptly) {
+  // Cancelling must destroy the callback's captures immediately (RAII
+  // resources in captures must not linger until the event's time passes).
+  Simulator s;
+  auto token = std::make_shared<int>(42);
+  const EventId id = s.schedule_after(Duration::hours(1), [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {

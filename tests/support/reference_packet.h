@@ -1,0 +1,315 @@
+// The SEED packet engine, kept verbatim as a test/bench oracle.
+//
+// This is the pre-rewrite `flowsim::PacketSimulator`: per-port state in an
+// unordered_map keyed by LinkId, flows in an unordered_map keyed by FlowId,
+// std::deque FIFOs, std::set paused-feeder bookkeeping — all running on the
+// seed shared_ptr/std::function event core (ReferenceSimulator). The dense
+// rewrite must be *bit-identical* to this engine: same RNG draw sequence,
+// same event schedule, same delivered/ECN/PFC/drop counters at every
+// instant. tests/flowsim/packet_differential_test.cpp asserts exactly that,
+// and bench_microperf_events uses this stack as the "before" measurement.
+//
+// Tracer probes are stripped (they post-date the seed and are no-ops for
+// simulation state); the config struct is flowsim::PacketSimConfig so both
+// engines consume one scenario description.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "flowsim/packet.h"
+#include "tests/support/reference_simulator.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim::testing {
+
+class ReferencePacketSimulator {
+ public:
+  using CompletionFn = std::function<void(FlowId)>;
+
+  ReferencePacketSimulator(const topo::Topology& topology,
+                           sim::testing::ReferenceSimulator& simulator,
+                           PacketSimConfig config = {})
+      : topo_{&topology}, sim_{&simulator}, config_{config} {
+    HPN_CHECK(config_.mtu > DataSize::zero());
+    HPN_CHECK(config_.pfc_xon < config_.pfc_xoff);
+    rng_state_ ^= config_.seed;
+  }
+
+  FlowId start_flow(std::vector<LinkId> path, DataSize size, Bandwidth line_rate,
+                    CompletionFn on_complete = nullptr) {
+    HPN_CHECK(!path.empty());
+    HPN_CHECK(size > DataSize::zero());
+    const FlowId id{next_id_++};
+    SenderFlow f;
+    f.path = std::move(path);
+    f.total_bytes = static_cast<std::int64_t>(size.as_bytes());
+    f.rate_bps = line_rate.as_bits_per_sec();
+    f.line_rate_bps = f.rate_bps;
+    f.on_complete = std::move(on_complete);
+    for (const LinkId l : f.path) ports_.try_emplace(l);
+    flows_.emplace(id, std::move(f));
+    arm_injector(id);
+    rate_increase_tick(id);
+    return id;
+  }
+
+  [[nodiscard]] DataSize queue_of(LinkId link) const {
+    const auto it = ports_.find(link);
+    return it == ports_.end() ? DataSize::zero() : DataSize::bytes(it->second.queued_bytes);
+  }
+  [[nodiscard]] std::uint64_t drops_on(LinkId link) const {
+    const auto it = ports_.find(link);
+    return it == ports_.end() ? 0 : it->second.drops;
+  }
+  [[nodiscard]] std::uint64_t tx_bytes_on(LinkId link) const {
+    const auto it = ports_.find(link);
+    return it == ports_.end() ? 0 : it->second.tx_bytes;
+  }
+  [[nodiscard]] Duration paused_time(LinkId link) const {
+    const auto it = ports_.find(link);
+    if (it == ports_.end()) return Duration::zero();
+    Duration total = it->second.total_paused;
+    if (it->second.paused) total += sim_->now() - it->second.paused_since;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_packets_; }
+  [[nodiscard]] Bandwidth flow_rate(FlowId id) const {
+    const auto it = flows_.find(id);
+    return it == flows_.end() ? Bandwidth::zero()
+                              : Bandwidth::bits_per_sec(it->second.rate_bps);
+  }
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct Packet {
+    FlowId flow;
+    std::uint32_t seq = 0;
+    std::int32_t bytes = 0;
+    bool ecn_marked = false;
+    std::size_t hop = 0;
+  };
+
+  struct PortState {
+    std::deque<Packet> queue;
+    std::int64_t queued_bytes = 0;
+    bool transmitting = false;
+    bool paused = false;
+    TimePoint paused_since;
+    Duration total_paused = Duration::zero();
+    std::uint64_t drops = 0;
+    std::uint64_t tx_bytes = 0;
+    std::set<LinkId> paused_upstreams;
+  };
+
+  struct SenderFlow {
+    std::vector<LinkId> path;
+    std::int64_t total_bytes = 0;
+    std::int64_t sent_bytes = 0;
+    std::int64_t delivered_bytes = 0;
+    double rate_bps = 0.0;
+    double line_rate_bps = 0.0;
+    double alpha = 1.0;
+    std::uint32_t next_seq = 0;
+    bool injector_armed = false;
+    CompletionFn on_complete;
+  };
+
+  void arm_injector(FlowId id) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    SenderFlow& f = it->second;
+    if (f.injector_armed || f.sent_bytes >= f.total_bytes) return;
+    f.injector_armed = true;
+    const double mtu_bits = static_cast<double>(config_.mtu.as_bits());
+    const Duration gap = Duration::seconds(mtu_bits / std::max(1e6, f.rate_bps));
+    sim_->schedule_after(gap, [this, id] {
+      auto fit = flows_.find(id);
+      if (fit == flows_.end()) return;
+      fit->second.injector_armed = false;
+      inject_next(id);
+    });
+  }
+
+  void inject_next(FlowId id) {
+    SenderFlow& f = flows_.at(id);
+    if (f.sent_bytes >= f.total_bytes) return;
+    const PortState& first = ports_.at(f.path.front());
+    if (first.queued_bytes + config_.mtu.as_bits() / 8 >
+        static_cast<std::int64_t>(config_.port_buffer.as_bytes())) {
+      arm_injector(id);
+      return;
+    }
+    Packet pkt;
+    pkt.flow = id;
+    pkt.seq = f.next_seq++;
+    pkt.bytes = static_cast<std::int32_t>(std::min<std::int64_t>(
+        static_cast<std::int64_t>(config_.mtu.as_bytes()), f.total_bytes - f.sent_bytes));
+    pkt.hop = 0;
+    f.sent_bytes += pkt.bytes;
+    enqueue(f.path.front(), pkt);
+    arm_injector(id);
+  }
+
+  [[nodiscard]] double mark_probability(std::int64_t queue_bytes) const {
+    const auto kmin = static_cast<std::int64_t>(config_.ecn_kmin.as_bytes());
+    const auto kmax = static_cast<std::int64_t>(config_.ecn_kmax.as_bytes());
+    if (queue_bytes <= kmin) return 0.0;
+    if (queue_bytes >= kmax) return config_.ecn_pmax;
+    return config_.ecn_pmax * static_cast<double>(queue_bytes - kmin) /
+           static_cast<double>(kmax - kmin);
+  }
+
+  void enqueue(LinkId link, Packet pkt) {
+    PortState& port = ports_.at(link);
+    const auto buffer = static_cast<std::int64_t>(config_.port_buffer.as_bytes());
+    if (port.queued_bytes + pkt.bytes > buffer) {
+      if (!config_.pfc) {
+        ++port.drops;
+        sim_->schedule_after(config_.retransmit_timeout,
+                             [this, id = pkt.flow, bytes = pkt.bytes] {
+                               auto it = flows_.find(id);
+                               if (it == flows_.end()) return;
+                               it->second.sent_bytes -= bytes;
+                               arm_injector(id);
+                             });
+        return;
+      }
+    }
+
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const double u = static_cast<double>(rng_state_ >> 11) / 9007199254740992.0;
+    if (u < mark_probability(port.queued_bytes)) {
+      pkt.ecn_marked = true;
+      ++ecn_marks_;
+    }
+
+    port.queued_bytes += pkt.bytes;
+    port.queue.push_back(pkt);
+    if (config_.pfc &&
+        port.queued_bytes > static_cast<std::int64_t>(config_.pfc_xoff.as_bytes())) {
+      pause_upstream(port, pkt);
+    }
+    try_transmit(link);
+  }
+
+  void pause_upstream(PortState& down, const Packet& pkt) {
+    if (pkt.hop == 0) return;
+    const auto it = flows_.find(pkt.flow);
+    if (it == flows_.end()) return;
+    const LinkId upstream = it->second.path[pkt.hop - 1];
+    down.paused_upstreams.insert(upstream);
+    PortState& up = ports_.at(upstream);
+    if (!up.paused) {
+      up.paused = true;
+      up.paused_since = sim_->now();
+    }
+  }
+
+  void resume_all(PortState& down) {
+    for (const LinkId upstream : down.paused_upstreams) {
+      PortState& up = ports_.at(upstream);
+      if (up.paused) {
+        up.paused = false;
+        up.total_paused += sim_->now() - up.paused_since;
+        try_transmit(upstream);
+      }
+    }
+    down.paused_upstreams.clear();
+  }
+
+  void try_transmit(LinkId link) {
+    PortState& port = ports_.at(link);
+    if (port.transmitting || port.paused || port.queue.empty()) return;
+    port.transmitting = true;
+    const Packet pkt = port.queue.front();
+    const topo::Link& l = topo_->link(link);
+    const Duration serialize = DataSize::bytes(pkt.bytes) / l.capacity;
+    sim_->schedule_after(serialize, [this, link] {
+      PortState& p = ports_.at(link);
+      p.transmitting = false;
+      HPN_CHECK(!p.queue.empty());
+      const Packet sent = p.queue.front();
+      p.queue.pop_front();
+      p.queued_bytes -= sent.bytes;
+      p.tx_bytes += static_cast<std::uint64_t>(sent.bytes);
+      if (config_.pfc &&
+          p.queued_bytes < static_cast<std::int64_t>(config_.pfc_xon.as_bytes())) {
+        resume_all(p);
+      }
+      const Duration propagation = topo_->link(link).latency;
+      sim_->schedule_after(propagation, [this, link, sent] { packet_arrived(link, sent); });
+      try_transmit(link);
+    });
+  }
+
+  void packet_arrived(LinkId link, Packet pkt) {
+    (void)link;
+    auto it = flows_.find(pkt.flow);
+    if (it == flows_.end()) return;
+    SenderFlow& f = it->second;
+    pkt.hop += 1;
+    if (pkt.hop >= f.path.size()) {
+      deliver(pkt);
+      return;
+    }
+    enqueue(f.path[pkt.hop], pkt);
+  }
+
+  void deliver(Packet pkt) {
+    auto it = flows_.find(pkt.flow);
+    if (it == flows_.end()) return;
+    SenderFlow& f = it->second;
+    ++delivered_packets_;
+    f.delivered_bytes += pkt.bytes;
+    if (pkt.ecn_marked) {
+      sim_->schedule_after(Duration::micros(5), [this, id = pkt.flow] { handle_cnp(id); });
+    }
+    if (f.delivered_bytes >= f.total_bytes) {
+      auto done = std::move(f.on_complete);
+      const FlowId id = pkt.flow;
+      flows_.erase(id);
+      if (done) done(id);
+    }
+  }
+
+  void handle_cnp(FlowId id) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    SenderFlow& f = it->second;
+    f.alpha = (1.0 - config_.dcqcn_alpha_g) * f.alpha + config_.dcqcn_alpha_g;
+    f.rate_bps = std::max(1e9, f.rate_bps * (1.0 - f.alpha / 2.0));
+  }
+
+  void rate_increase_tick(FlowId id) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    SenderFlow& f = it->second;
+    f.alpha *= 1.0 - config_.dcqcn_alpha_g;
+    f.rate_bps =
+        std::min(f.line_rate_bps, f.rate_bps + config_.dcqcn_ai.as_bits_per_sec());
+    sim_->schedule_after(config_.dcqcn_rate_increase_period,
+                         [this, id] { rate_increase_tick(id); });
+  }
+
+  const topo::Topology* topo_;
+  sim::testing::ReferenceSimulator* sim_;
+  PacketSimConfig config_;
+  std::unordered_map<LinkId, PortState> ports_;
+  std::unordered_map<FlowId, SenderFlow> flows_;
+  FlowId::underlying next_id_ = 1;
+  std::uint64_t ecn_marks_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
+};
+
+}  // namespace hpn::flowsim::testing

@@ -1,0 +1,137 @@
+// The SEED discrete-event core, kept verbatim as a test/bench oracle.
+//
+// This is the pre-rewrite `sim::Simulator`: every schedule_at allocates a
+// shared_ptr<Event> plus a heap-backed std::function, registers the event
+// in an unordered_map, and pushes the shared_ptr into a priority_queue
+// (whose comparator copies shared_ptr refcounts on every sift). It is
+// deliberately NOT optimized — bench_microperf_events measures the pooled
+// engine against it, and the differential suites assert that the rewrite
+// fires the exact same event sequence.
+//
+// Mirrors tests/support/reference_maxmin.h: frozen seed semantics, used
+// only from tests/ and bench/. The tracer integration is stripped (it
+// post-dates the seed core and never affects event ordering).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace hpn::sim::testing {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class ReferenceSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  ReferenceSimulator() = default;
+  ReferenceSimulator(const ReferenceSimulator&) = delete;
+  ReferenceSimulator& operator=(const ReferenceSimulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  EventId schedule_at(TimePoint t, Callback cb) {
+    HPN_CHECK_MSG(t >= now_, "cannot schedule into the past: " << to_string(t)
+                                 << " < now " << to_string(now_));
+    HPN_CHECK(cb != nullptr);
+    auto ev = std::make_shared<Event>();
+    ev->at = t;
+    ev->seq = next_seq_++;
+    ev->fn = std::move(cb);
+    const EventId id = ev->seq;
+    queue_.push(ev);
+    live_.emplace(id, std::move(ev));
+    return id;
+  }
+
+  EventId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  EventId schedule_now(Callback cb) { return schedule_at(now_, std::move(cb)); }
+
+  bool cancel(EventId id) {
+    auto it = live_.find(id);
+    if (it == live_.end()) return false;
+    it->second->cancelled = true;
+    it->second->fn = nullptr;
+    live_.erase(it);
+    return true;
+  }
+
+  bool step() {
+    drop_cancelled();
+    if (queue_.empty()) return false;
+    auto ev = queue_.top();
+    queue_.pop();
+    live_.erase(ev->seq);
+    HPN_CHECK(ev->at >= now_);
+    now_ = ev->at;
+    ++processed_;
+    ev->fn();
+    return true;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  void run_until(TimePoint t) {
+    HPN_CHECK(t >= now_);
+    for (;;) {
+      drop_cancelled();
+      if (queue_.empty() || queue_.top()->at > t) break;
+      step();
+    }
+    now_ = t;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+  [[nodiscard]] TimePoint next_event_time() const {
+    auto& self = const_cast<ReferenceSimulator&>(*this);
+    self.drop_cancelled();
+    if (queue_.empty()) return TimePoint::far_future();
+    return queue_.top()->at;
+  }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    Callback fn;
+    bool cancelled = false;
+  };
+
+  struct QueueOrder {
+    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
+      if (a->at != b->at) return a->at > b->at;  // min-heap on time
+      return a->seq > b->seq;                    // then FIFO
+    }
+  };
+
+  void drop_cancelled() {
+    while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+  }
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, QueueOrder>
+      queue_;
+  std::unordered_map<EventId, std::shared_ptr<Event>> live_;
+};
+
+}  // namespace hpn::sim::testing
