@@ -92,6 +92,9 @@ std::vector<BgpRoute> BgpFabric::best_of(const Speaker& sp, Prefix prefix) const
 }
 
 void BgpFabric::send(Message msg) {
+  // Sabotage knob: the dropped WITHDRAW never counts as in-flight, so
+  // quiescent() still reports convergence — with stale routes left behind.
+  if (drop_withdrawals_ && msg.kind == MsgKind::kWithdraw) return;
   ++inflight_messages_;
   ++messages_sent_;
   sim_->trace(msg.kind == MsgKind::kWithdraw ? metrics::TraceEventKind::kBgpWithdraw
@@ -190,6 +193,106 @@ void BgpFabric::announce(Speaker& sp, Prefix prefix) {
       m.route.via = LinkId::invalid();  // receiver resolves its egress link
     }
     send(std::move(m));
+  }
+}
+
+void BgpFabric::audit_fib(sim::InvariantAuditor& auditor) const {
+  if (!auditor.enabled()) return;
+  const TimePoint now = sim_->now();
+
+  std::set<Prefix> prefixes;
+  for (const auto& [node, sp] : speakers_) {
+    for (const auto& [prefix, routes] : sp.fib) prefixes.insert(prefix);
+  }
+
+  for (const Prefix prefix : prefixes) {
+    // Per-prefix next-hop digraph over the speakers (self-originated routes
+    // terminate at the attached NIC, so they add no edge).
+    std::map<NodeId, std::vector<NodeId>> edges;
+    for (const auto& [node, sp] : speakers_) {
+      const auto fit = sp.fib.find(prefix);
+      if (fit == sp.fib.end()) continue;
+      for (const BgpRoute& r : fit->second) {
+        if (r.next_hop == prefix) {
+          auditor.check(cluster_->topo.is_up(r.via), sim::AuditRule::kFibDownLink, now,
+                        [&, n = node] {
+                          std::ostringstream os;
+                          os << "speaker " << n.value() << " originates prefix "
+                             << prefix.value() << " over down access link "
+                             << r.via.value();
+                          return os.str();
+                        });
+          continue;
+        }
+        const auto pit =
+            std::find_if(sp.peers.begin(), sp.peers.end(),
+                         [&](const auto& pr) { return pr.first == r.next_hop; });
+        if (pit == sp.peers.end()) {
+          std::ostringstream os;
+          os << "speaker " << node.value() << " routes prefix " << prefix.value()
+             << " via " << r.next_hop.value() << ", which is not a peer";
+          auditor.fail(sim::AuditRule::kFibBlackhole, now, os.str());
+          continue;
+        }
+        // Any up parallel link to the next hop will do (the adjacency
+        // records one link, but traffic can take any member of the bundle).
+        bool egress_up = false;
+        for (const LinkId cand : cluster_->topo.find_links(node, r.next_hop)) {
+          egress_up |= cluster_->topo.is_up(cand) &&
+                       cluster_->topo.is_up(cluster_->topo.link(cand).reverse);
+        }
+        auditor.check(egress_up, sim::AuditRule::kFibDownLink, now, [&, n = node] {
+          std::ostringstream os;
+          os << "speaker " << n.value() << " routes prefix " << prefix.value()
+             << " toward " << r.next_hop.value() << " with every link down";
+          return os.str();
+        });
+        const auto nit = speakers_.find(r.next_hop);
+        const bool nh_routes =
+            nit != speakers_.end() && nit->second.fib.count(prefix) > 0;
+        auditor.check(nh_routes, sim::AuditRule::kFibBlackhole, now, [&, n = node] {
+          std::ostringstream os;
+          os << "speaker " << n.value() << " routes prefix " << prefix.value()
+             << " via " << r.next_hop.value() << ", which has no route (blackhole)";
+          return os.str();
+        });
+        edges[node].push_back(r.next_hop);
+      }
+    }
+
+    // Loop detection: 3-colour DFS over the next-hop digraph. A grey-node
+    // hit is a cycle; one violation per prefix is enough detail.
+    enum : std::uint8_t { kWhite, kGrey, kBlack };
+    std::map<NodeId, std::uint8_t> colour;
+    bool looped = false;
+    for (const auto& kv : edges) {
+      const NodeId start = kv.first;
+      if (looped || colour[start] != kWhite) continue;
+      // Iterative DFS; the stack holds (node, next child index).
+      std::vector<std::pair<NodeId, std::size_t>> stack{{start, 0}};
+      colour[start] = kGrey;
+      while (!stack.empty() && !looped) {
+        auto& [node, child] = stack.back();
+        const auto eit = edges.find(node);
+        if (eit == edges.end() || child >= eit->second.size()) {
+          colour[node] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        const NodeId next = eit->second[child++];
+        const std::uint8_t c = colour[next];
+        if (c == kGrey) {
+          std::ostringstream os;
+          os << "prefix " << prefix.value() << " has a forwarding loop through speaker "
+             << next.value();
+          auditor.fail(sim::AuditRule::kFibLoop, now, os.str());
+          looped = true;
+        } else if (c == kWhite) {
+          colour[next] = kGrey;
+          stack.emplace_back(next, 0);
+        }
+      }
+    }
   }
 }
 

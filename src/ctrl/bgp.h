@@ -82,6 +82,18 @@ class BgpFabric {
   /// Speakers that changed their FIB since the counter was last read.
   [[nodiscard]] std::uint64_t fib_changes() const { return fib_changes_; }
 
+  /// Control-plane sanity at quiescence: every FIB next hop is a live peer
+  /// that itself has a route (no blackholes), no egress over a down link,
+  /// and the per-prefix next-hop graph is loop-free. Only meaningful once
+  /// quiescent() — transient loops during convergence are legal BGP.
+  void audit_fib(sim::InvariantAuditor& auditor) const;
+
+  /// Deliberate sabotage for auditor validation: silently drop every
+  /// WITHDRAW at the sender. Leaves stale routes behind so a converged
+  /// fabric can hold forwarding loops — the fuzz suite proves audit_fib
+  /// catches exactly this.
+  void set_drop_withdrawals(bool on) { drop_withdrawals_ = on; }
+
  private:
   struct Speaker {
     NodeId node;
@@ -125,6 +137,7 @@ class BgpFabric {
   int inflight_messages_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t fib_changes_ = 0;
+  bool drop_withdrawals_ = false;
 };
 
 }  // namespace hpn::ctrl

@@ -29,6 +29,9 @@ FlowId FluidSimulator::start_flow(std::vector<LinkId> path, Bandwidth cap, DataS
   f.remaining_bits = static_cast<double>(size.as_bits());
   f.on_complete = std::move(on_complete);
   for (const LinkId l : f.path) links_.try_emplace(l);
+  if (sim_->auditor().enabled() && !f.infinite) {
+    audit_injected_bits_ += f.remaining_bits;
+  }
   const double traced_bytes =
       f.infinite ? 0.0 : static_cast<double>(size.as_bytes());
   flows_.emplace(id, std::move(f));
@@ -38,7 +41,15 @@ FlowId FluidSimulator::start_flow(std::vector<LinkId> path, Bandwidth cap, DataS
   return id;
 }
 
-bool FluidSimulator::stop_flow(FlowId id) { return flows_.erase(id) > 0; }
+bool FluidSimulator::stop_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  if (sim_->auditor().enabled() && !it->second.infinite) {
+    audit_aborted_bits_ += std::max(0.0, it->second.remaining_bits);
+  }
+  flows_.erase(it);
+  return true;
+}
 
 DataSize FluidSimulator::queue_of(LinkId link) const {
   const auto it = links_.find(link);
@@ -131,6 +142,10 @@ void FluidSimulator::tick() {
     }
     f.goodput_bps = f.rate_bps * scale;
     if (!f.infinite) {
+      if (sim_->auditor().enabled()) {
+        audit_delivered_bits_ +=
+            std::min(f.goodput_bps * dt, std::max(0.0, f.remaining_bits));
+      }
       f.remaining_bits -= f.goodput_bps * dt;
       if (f.remaining_bits <= 0.0) done.emplace_back(fid, std::move(f.on_complete));
     }
@@ -147,6 +162,64 @@ void FluidSimulator::tick() {
                 "fluid");
     if (fn) fn(fid);
   }
+
+  if (sim_->auditor().enabled()) audit_tick();
+}
+
+void FluidSimulator::audit_tick() {
+  sim::InvariantAuditor& auditor = sim_->auditor();
+  const TimePoint now = sim_->now();
+  constexpr double kRelEps = 1e-6;
+
+  std::unordered_map<LinkId, double> goodput_load;
+  double inflight_bits = 0.0;
+  for (const auto& [fid, f] : flows_) {
+    if (!f.infinite) inflight_bits += std::max(0.0, f.remaining_bits);
+    auditor.check(f.rate_bps <= f.cap_bps * (1.0 + kRelEps) + 1.0,
+                  sim::AuditRule::kRateOverCapacity, now, [&, id = fid] {
+                    std::ostringstream os;
+                    os << "fluid flow " << id.value() << " rate " << f.rate_bps
+                       << " bps exceeds its cap " << f.cap_bps << " bps";
+                    return os.str();
+                  });
+    for (const LinkId l : f.path) goodput_load[l] += f.goodput_bps;
+  }
+
+  for (const auto& [lid, st] : links_) {
+    const double cap = topo_->link(lid).capacity.as_bits_per_sec();
+    auditor.check(st.queue_bits >= 0.0, sim::AuditRule::kNegativeQueue, now, [&] {
+      std::ostringstream os;
+      os << "fluid queue on link " << lid.value() << " is " << st.queue_bits << " bits";
+      return os.str();
+    });
+    auditor.check(st.delivered_bps <= cap * (1.0 + kRelEps) + 1.0,
+                  sim::AuditRule::kRateOverCapacity, now, [&] {
+                    std::ostringstream os;
+                    os << "fluid link " << lid.value() << " delivered " << st.delivered_bps
+                       << " bps over capacity " << cap << " bps";
+                    return os.str();
+                  });
+    const auto it = goodput_load.find(lid);
+    const double goodput = it == goodput_load.end() ? 0.0 : it->second;
+    auditor.check(goodput <= cap * (1.0 + kRelEps) + 1.0,
+                  sim::AuditRule::kRateOverCapacity, now, [&] {
+                    std::ostringstream os;
+                    os << "fluid link " << lid.value() << " carries goodput " << goodput
+                       << " bps over capacity " << cap << " bps";
+                    return os.str();
+                  });
+  }
+
+  const double accounted = audit_delivered_bits_ + audit_aborted_bits_ + inflight_bits;
+  const double scale = std::max(1.0, audit_injected_bits_);
+  auditor.check(std::abs(audit_injected_bits_ - accounted) <= scale * 1e-9 + 1.0,
+                sim::AuditRule::kConservation, now, [&] {
+                  std::ostringstream os;
+                  os << "fluid ledger: injected " << audit_injected_bits_
+                     << " bits != delivered " << audit_delivered_bits_ << " + aborted "
+                     << audit_aborted_bits_ << " + in-flight " << inflight_bits;
+                  return os.str();
+                });
 }
 
 }  // namespace hpn::flowsim

@@ -84,6 +84,9 @@ class FluidSimulator {
   };
 
   void tick();
+  /// Per-tick rate/queue/conservation checks. Only called when the
+  /// simulator's InvariantAuditor is enabled.
+  void audit_tick();
   [[nodiscard]] double mark_probability(double queue_bits) const;
   void ensure_ticking();
 
@@ -95,6 +98,12 @@ class FluidSimulator {
   FlowId::underlying next_id_ = 1;
   std::unique_ptr<sim::PeriodicTimer> timer_;
   std::uint64_t tick_count_ = 0;
+
+  /// Conservation ledger for the auditor (finite flows only; accumulated
+  /// while the auditor is enabled).
+  double audit_injected_bits_ = 0.0;
+  double audit_delivered_bits_ = 0.0;
+  double audit_aborted_bits_ = 0.0;
 };
 
 }  // namespace hpn::flowsim

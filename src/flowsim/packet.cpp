@@ -109,6 +109,7 @@ void PacketSimulator::inject_next(FlowId id) {
       static_cast<std::int64_t>(config_.mtu.as_bytes()), f.total_bytes - f.sent_bytes));
   pkt.hop = 0;
   f.sent_bytes += pkt.bytes;
+  if (sim_->auditor().enabled()) audit_injected_bytes_ += pkt.bytes;
   enqueue(f.path.front(), pkt);
   arm_injector(id);
 }
@@ -129,6 +130,7 @@ void PacketSimulator::enqueue(LinkId link, Packet pkt) {
     if (!config_.pfc) {
       // Tail drop; the sender will re-inject the bytes after its timeout.
       ++p.drops;
+      if (sim_->auditor().enabled()) audit_dropped_bytes_ += pkt.bytes;
       sim_->trace(metrics::TraceEventKind::kPacketDrop,
                   static_cast<std::uint32_t>(link.value()),
                   static_cast<std::uint32_t>(pkt.flow.value()),
@@ -138,6 +140,7 @@ void PacketSimulator::enqueue(LinkId link, Packet pkt) {
         SenderFlow* f = find_flow(id);
         if (f == nullptr) return;
         f->sent_bytes -= bytes;  // go-back: bytes go out again
+        if (sim_->auditor().enabled()) audit_recredited_bytes_ += bytes;
         arm_injector(id);
       });
       return;
@@ -156,6 +159,9 @@ void PacketSimulator::enqueue(LinkId link, Packet pkt) {
     ++ecn_marks_;
   }
 
+  if (sim_->auditor().enabled()) {
+    pkt.ticket = sim_->auditor().fifo_enqueue(static_cast<std::uint32_t>(link.value()));
+  }
   p.queued_bytes += pkt.bytes;
   p.queue.push_back(pkt);
   if (sim_->tracer().watching(link)) {
@@ -217,6 +223,18 @@ void PacketSimulator::try_transmit(LinkId link) {
     out.queue.pop_front();
     out.queued_bytes -= sent.bytes;
     out.tx_bytes += static_cast<std::uint64_t>(sent.bytes);
+    if (sim_->auditor().enabled()) {
+      sim::InvariantAuditor& auditor = sim_->auditor();
+      auditor.fifo_dequeue(static_cast<std::uint32_t>(link.value()), sent.ticket,
+                           sim_->now());
+      auditor.check(out.queued_bytes >= 0, sim::AuditRule::kNegativeQueue, sim_->now(),
+                    [&] {
+                      std::ostringstream os;
+                      os << "port " << link.value() << " queued_bytes went to "
+                         << out.queued_bytes;
+                      return os.str();
+                    });
+    }
     if (sim_->tracer().watching(link)) {
       sim_->trace(metrics::TraceEventKind::kQueueDepth,
                   static_cast<std::uint32_t>(link.value()), metrics::kTraceNoId,
@@ -236,7 +254,10 @@ void PacketSimulator::try_transmit(LinkId link) {
 void PacketSimulator::packet_arrived(LinkId link, Packet pkt) {
   (void)link;
   SenderFlow* f = find_flow(pkt.flow);
-  if (f == nullptr) return;  // flow already completed (late duplicate)
+  if (f == nullptr) {  // flow already completed (late duplicate)
+    if (sim_->auditor().enabled()) audit_discarded_bytes_ += pkt.bytes;
+    return;
+  }
   pkt.hop += 1;
   if (pkt.hop >= f->path.size()) {
     deliver(pkt);
@@ -247,8 +268,12 @@ void PacketSimulator::packet_arrived(LinkId link, Packet pkt) {
 
 void PacketSimulator::deliver(Packet pkt) {
   SenderFlow* f = find_flow(pkt.flow);
-  if (f == nullptr) return;
+  if (f == nullptr) {
+    if (sim_->auditor().enabled()) audit_discarded_bytes_ += pkt.bytes;
+    return;
+  }
   ++delivered_packets_;
+  if (sim_->auditor().enabled()) audit_delivered_bytes_ += pkt.bytes;
   f->delivered_bytes += pkt.bytes;
   if (pkt.ecn_marked) {
     // CNP back to the sender (reverse path propagation, a few us).
@@ -307,6 +332,35 @@ Duration PacketSimulator::paused_time(LinkId link) const {
 Bandwidth PacketSimulator::flow_rate(FlowId id) const {
   const SenderFlow* f = find_flow(id);
   return f == nullptr ? Bandwidth::zero() : Bandwidth::bits_per_sec(f->rate_bps);
+}
+
+void PacketSimulator::audit_quiescent() const {
+  sim::InvariantAuditor& auditor = sim_->auditor();
+  if (!auditor.enabled()) return;
+  const TimePoint now = sim_->now();
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const PortState& p = ports_[i];
+    auditor.check(p.queue.empty() && p.queued_bytes == 0, sim::AuditRule::kStuckQueue,
+                  now, [&] {
+                    std::ostringstream os;
+                    os << "port " << i << " still holds " << p.queued_bytes
+                       << " bytes after the event queue drained"
+                       << (p.paused ? " (port is PFC-paused)" : "");
+                    return os.str();
+                  });
+  }
+  if (active_flows_ != 0) return;  // in-flight bytes make the ledger open-ended
+  const std::int64_t accounted =
+      audit_delivered_bytes_ + audit_dropped_bytes_ + audit_discarded_bytes_;
+  auditor.check(audit_injected_bytes_ == accounted, sim::AuditRule::kConservation, now,
+                [&] {
+                  std::ostringstream os;
+                  os << "packet ledger: injected " << audit_injected_bytes_
+                     << " bytes != delivered " << audit_delivered_bytes_ << " + dropped "
+                     << audit_dropped_bytes_ << " + discarded " << audit_discarded_bytes_
+                     << " (recredited " << audit_recredited_bytes_ << ")";
+                  return os.str();
+                });
 }
 
 }  // namespace hpn::flowsim

@@ -73,13 +73,21 @@ class PacketSimulator {
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
   [[nodiscard]] std::size_t active_flows() const { return active_flows_; }
 
+  /// Drain-time audit: every port empty, and (once all flows completed) the
+  /// byte ledger closes — injected = delivered + dropped + discarded. Call
+  /// after the simulator ran to quiescence; no-op unless the auditor is
+  /// enabled (and it must have been enabled before the first start_flow for
+  /// the ledger to balance).
+  void audit_quiescent() const;
+
  private:
   struct Packet {
     FlowId flow;
     std::uint32_t seq = 0;
     std::int32_t bytes = 0;
     bool ecn_marked = false;
-    std::size_t hop = 0;  ///< Index into the flow's path.
+    std::size_t hop = 0;       ///< Index into the flow's path.
+    std::uint64_t ticket = 0;  ///< Per-port FIFO audit ticket (auditor on).
   };
 
   /// FIFO ring that keeps its capacity across drain cycles, so a port that
@@ -175,6 +183,16 @@ class PacketSimulator {
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
+
+  /// Byte ledger for the auditor. A packet ends in exactly one bucket:
+  /// delivered at its destination, tail-dropped at a full port, or discarded
+  /// in flight because its flow already completed (late duplicate). Only
+  /// accumulated while the auditor is enabled.
+  std::int64_t audit_injected_bytes_ = 0;
+  std::int64_t audit_delivered_bytes_ = 0;
+  std::int64_t audit_dropped_bytes_ = 0;
+  std::int64_t audit_discarded_bytes_ = 0;
+  std::int64_t audit_recredited_bytes_ = 0;
 };
 
 }  // namespace hpn::flowsim

@@ -25,6 +25,9 @@ FlowId FlowSession::start_flow(std::vector<LinkId> path, DataSize size, Bandwidt
   f.on_complete = std::move(on_complete);
   f.started = sim_->now();
   f.size = size;
+  if (sim_->auditor().enabled()) {
+    audit_injected_bits_ += static_cast<double>(size.as_bits());
+  }
   flows_.emplace(id, std::move(f));
   sim_->trace(metrics::TraceEventKind::kFlowStart, static_cast<std::uint32_t>(id.value()),
               metrics::kTraceNoId, static_cast<double>(size.as_bytes()));
@@ -60,6 +63,7 @@ bool FlowSession::abort_flow(FlowId id) {
   record_trace(id, it->second, /*aborted=*/true);
   sim_->trace(metrics::TraceEventKind::kFlowAbort, static_cast<std::uint32_t>(id.value()),
               metrics::kTraceNoId, it->second.remaining_bits);
+  if (sim_->auditor().enabled()) audit_aborted_bits_ += it->second.remaining_bits;
   solver_.remove_flow(it->second.handle);
   flows_.erase(it);
   schedule_recompute();
@@ -106,8 +110,12 @@ void FlowSession::settle_to_now() {
   const double dt = (now - last_settle_).as_seconds();
   last_settle_ = now;
   if (dt <= 0.0) return;
+  const bool audit = sim_->auditor().enabled();
   for (auto& [id, f] : flows_) {
     const double moved = f.rate_bps * dt;
+    // The audit ledger clamps at the flow boundary (delivered_ deliberately
+    // keeps the seed's slight overcount so existing goldens stay stable).
+    if (audit) audit_delivered_bits_ += std::min(moved, f.remaining_bits);
     f.remaining_bits = std::max(0.0, f.remaining_bits - moved);
     delivered_ += DataSize::bits(static_cast<std::int64_t>(moved));
   }
@@ -126,8 +134,11 @@ void FlowSession::recompute_and_reschedule() {
 
   // Fire completions for anything already drained (incl. zero-size flows).
   std::vector<std::pair<FlowId, CompletionFn>> done;
+  const bool audit = sim_->auditor().enabled();
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining_bits <= kBitEps) {
+      // Sub-bit residue counts as delivered so the ledger closes exactly.
+      if (audit) audit_delivered_bits_ += it->second.remaining_bits;
       record_trace(it->first, it->second, /*aborted=*/false);
       sim_->trace(metrics::TraceEventKind::kFlowFinish,
                   static_cast<std::uint32_t>(it->first.value()), metrics::kTraceNoId,
@@ -178,11 +189,71 @@ void FlowSession::recompute_and_reschedule() {
     });
   }
 
+  if (audit) audit_allocation();
+
   // Completion callbacks run after rates settle; they may start new flows,
   // which batches into a fresh recompute at this same instant.
   for (auto& [id, fn] : done) {
     if (fn) fn(id);
   }
+}
+
+void FlowSession::audit_allocation() {
+  sim::InvariantAuditor& auditor = sim_->auditor();
+  const TimePoint now = sim_->now();
+  // Tolerances are relative: rates are doubles accumulated through the
+  // incremental solver, so allow a part-per-million of slack.
+  constexpr double kRelEps = 1e-6;
+
+  double inflight_bits = 0.0;
+  std::unordered_map<LinkId, double> link_load;
+  for (const auto& [id, f] : flows_) {
+    inflight_bits += f.remaining_bits;
+    const double cap = solver_.cap(f.handle);
+    auditor.check(f.rate_bps <= cap * (1.0 + kRelEps) + 1.0,
+                  sim::AuditRule::kRateOverCapacity, now, [&, fid = id] {
+                    std::ostringstream os;
+                    os << "flow " << fid.value() << " rate " << f.rate_bps
+                       << " bps exceeds its source cap " << cap << " bps";
+                    return os.str();
+                  });
+    bool path_up = true;
+    for (const LinkId link : solver_.path(f.handle)) {
+      link_load[link] += f.rate_bps;
+      if (!topo_->is_up(link)) path_up = false;
+    }
+    auditor.check(f.rate_bps <= 0.0 || path_up, sim::AuditRule::kDownLinkForwarding,
+                  now, [&, fid = id] {
+                    std::ostringstream os;
+                    os << "flow " << fid.value() << " allocated " << f.rate_bps
+                       << " bps over a path with a down link";
+                    return os.str();
+                  });
+  }
+
+  for (const auto& [link, load] : link_load) {
+    const double cap = topo_->link(link).capacity.as_bits_per_sec();
+    auditor.check(load <= cap * (1.0 + kRelEps) + 1.0, sim::AuditRule::kRateOverCapacity,
+                  now, [&] {
+                    std::ostringstream os;
+                    os << "link " << link.value() << " carries " << load
+                       << " bps over capacity " << cap << " bps";
+                    return os.str();
+                  });
+  }
+
+  // Conservation: everything injected is delivered, aborted, or in flight.
+  // The ledger uses exact doubles, so the only error is float accumulation.
+  const double accounted = audit_delivered_bits_ + audit_aborted_bits_ + inflight_bits;
+  const double scale = std::max(1.0, audit_injected_bits_);
+  auditor.check(std::abs(audit_injected_bits_ - accounted) <= scale * 1e-9 + 1.0,
+                sim::AuditRule::kConservation, now, [&] {
+                  std::ostringstream os;
+                  os << "flow ledger: injected " << audit_injected_bits_
+                     << " bits != delivered " << audit_delivered_bits_ << " + aborted "
+                     << audit_aborted_bits_ << " + in-flight " << inflight_bits;
+                  return os.str();
+                });
 }
 
 void FlowSession::on_completion_event() {

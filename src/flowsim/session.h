@@ -105,6 +105,11 @@ class FlowSession {
 
   void record_trace(FlowId id, const ActiveFlow& flow, bool aborted);
 
+  /// Rate/capacity/down-link/conservation checks after a recompute. Only
+  /// called when the simulator's InvariantAuditor is enabled; the audit
+  /// accumulators are valid if auditing was on before the first start_flow.
+  void audit_allocation();
+
   /// Charge elapsed time against every flow's remaining bits.
   void settle_to_now();
   /// Recompute rates and (re)schedule the next completion event.
@@ -123,6 +128,13 @@ class FlowSession {
   DataSize delivered_ = DataSize::zero();
   bool tracing_ = false;
   std::vector<FlowRecord> trace_;
+
+  /// Conservation accounting for the auditor, in exact doubles (delivered_
+  /// keeps its integer-truncation semantics for the public API). Only
+  /// accumulated while the auditor is enabled.
+  double audit_injected_bits_ = 0.0;
+  double audit_delivered_bits_ = 0.0;
+  double audit_aborted_bits_ = 0.0;
 };
 
 }  // namespace hpn::flowsim

@@ -235,6 +235,14 @@ void Simulator::maybe_compact() {
 bool Simulator::step() {
   const HeapEntry top = heap_pop_live();
   if (top.slot == kNoSlot) return false;
+  // The auditor records monotonicity violations (fuzz runs want the full
+  // report); the structural HPN_CHECK below still stops a corrupted queue.
+  auditor_.check(top.at >= now_, AuditRule::kEventTimeMonotonic, now_, [&] {
+    std::ostringstream os;
+    os << "event at " << to_string(top.at) << " fired behind clock "
+       << to_string(now_) << " (seq " << top.seq << ")";
+    return os.str();
+  });
   HPN_CHECK(top.at >= now_);
   now_ = top.at;
   ++processed_;

@@ -31,6 +31,7 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "metrics/trace.h"
+#include "sim/audit.h"
 #include "sim/inline_callback.h"
 
 namespace hpn::sim {
@@ -105,6 +106,12 @@ class Simulator {
              const char* label = nullptr) {
     tracer_.record(now_, kind, a, b, value, label);
   }
+
+  /// Simulation-wide invariant auditor. Disabled by default (every probe is
+  /// then a single branch); engines that hold a Simulator& check
+  /// conservation/sanity properties through this (see sim/audit.h).
+  [[nodiscard]] InvariantAuditor& auditor() { return auditor_; }
+  [[nodiscard]] const InvariantAuditor& auditor() const { return auditor_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
@@ -196,6 +203,7 @@ class Simulator {
   std::vector<HeapEntry> far_;
   std::int64_t cur_bucket_ = 0;
   metrics::Tracer tracer_;
+  InvariantAuditor auditor_;
 };
 
 /// Repeats a callback on a fixed period until stopped or the callback

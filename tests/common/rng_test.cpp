@@ -5,6 +5,52 @@
 namespace hpn {
 namespace {
 
+// Seed-stability golden: the fuzz subsystem's `.scenario` repro files only
+// replay if a seed keeps producing the same scenario across toolchain and
+// library upgrades. mt19937_64's raw output is pinned by the C++ standard,
+// so those values must hold everywhere; the <random> *distribution*
+// algorithms are implementation-defined, so their goldens are guarded to
+// libstdc++ (the toolchain CI runs). If this test ever fails, repro files
+// generated before the change no longer reproduce — treat it as breaking
+// the fuzz corpus, not as a test to update casually.
+TEST(Rng, GoldenSeedStability) {
+  Rng raw{0xC0FFEE};
+  const std::uint64_t expected[8] = {
+      0xA9994EA554C92FC3ULL, 0xCD8D6D18DC084560ULL, 0x09E011377D75D7A7ULL,
+      0x19BA72EEC49D2E43ULL, 0x44FF08C99EA50E4FULL, 0x3AC4EF05A0D06383ULL,
+      0xDC99AB7D7BB1B760ULL, 0x36DAE49CD0EE397DULL,
+  };
+  for (const std::uint64_t want : expected) EXPECT_EQ(raw.next_u64(), want);
+
+  Rng parent{2024};
+  EXPECT_EQ(parent.fork(5).next_u64(), 0xFC72FEF9A611EE98ULL);
+
+#if defined(__GLIBCXX__)
+  {
+    Rng r{7};
+    EXPECT_EQ(r.uniform_index(1000), 754u);
+    EXPECT_EQ(r.uniform_index(1000), 949u);
+    EXPECT_EQ(r.uniform_index(1000), 117u);
+  }
+  {
+    Rng r{7};
+    EXPECT_EQ(r.uniform_int(-50, 50), 26);
+    EXPECT_EQ(r.uniform_int(-50, 50), 45);
+    EXPECT_EQ(r.uniform_int(-50, 50), -39);
+  }
+  {
+    Rng r{7};
+    EXPECT_DOUBLE_EQ(r.uniform_real(), 0.75438530415285798);
+    EXPECT_DOUBLE_EQ(r.uniform_real(), 0.94930120289264419);
+  }
+  {
+    Rng r{7};
+    const bool want[8] = {false, false, true, false, true, true, false, false};
+    for (const bool b : want) EXPECT_EQ(r.bernoulli(0.5), b);
+  }
+#endif
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a{123};
   Rng b{123};

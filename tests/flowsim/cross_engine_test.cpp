@@ -83,6 +83,7 @@ const DataSize kEcnKmax = DataSize::megabytes(1);
 
 EngineResult run_fluid(const IncastTopo& topo) {
   sim::Simulator s;
+  s.auditor().enable();
   s.tracer().enable();
   s.tracer().watch_link(topo.bottleneck);
   FluidConfig cfg;
@@ -96,6 +97,7 @@ EngineResult run_fluid(const IncastTopo& topo) {
   const FlowId victim =
       fl.start_flow({topo.up[0], topo.victim_egress}, Bandwidth::gbps(100));
   s.run_for(Duration::millis(200));
+  EXPECT_TRUE(s.auditor().ok()) << s.auditor().report();
 
   EngineResult r;
   r.bottleneck_gbps = fl.delivered_rate(topo.bottleneck).as_gbps();
@@ -111,6 +113,7 @@ EngineResult run_fluid(const IncastTopo& topo) {
 
 EngineResult run_packet(const IncastTopo& topo) {
   sim::Simulator s;
+  s.auditor().enable();
   s.tracer().enable(1u << 21);  // per-packet queue samples are dense
   s.tracer().watch_link(topo.bottleneck);
   PacketSimConfig cfg;
@@ -128,6 +131,7 @@ EngineResult run_packet(const IncastTopo& topo) {
   const TimePoint window_start = s.now();
   const std::uint64_t tx0 = ps.tx_bytes_on(topo.bottleneck);
   s.run_for(Duration::millis(10));
+  EXPECT_TRUE(s.auditor().ok()) << s.auditor().report();
 
   EngineResult r;
   r.bottleneck_gbps =
@@ -182,11 +186,13 @@ TEST(CrossEngineIncast, TracerSeesFlowLifecyclesInBothEngines) {
   IncastTopo topo;
   {
     sim::Simulator s;
+    s.auditor().enable();
     s.tracer().enable();
     FluidSimulator fl{topo.t, s, {}};
     fl.start_flow({topo.up[0], topo.bottleneck}, Bandwidth::gbps(100),
                   DataSize::megabytes(1));
     s.run_for(Duration::millis(5));
+    EXPECT_TRUE(s.auditor().ok()) << s.auditor().report();
     const auto starts = s.tracer().events_of(metrics::TraceEventKind::kFlowStart);
     const auto finishes = s.tracer().events_of(metrics::TraceEventKind::kFlowFinish);
     ASSERT_EQ(starts.size(), 1u);
@@ -195,11 +201,14 @@ TEST(CrossEngineIncast, TracerSeesFlowLifecyclesInBothEngines) {
   }
   {
     sim::Simulator s;
+    s.auditor().enable();
     s.tracer().enable();
     PacketSimulator ps{topo.t, s};
     ps.start_flow({topo.up[0], topo.bottleneck}, DataSize::megabytes(1),
                   Bandwidth::gbps(100));
     s.run_for(Duration::millis(5));
+    ps.audit_quiescent();
+    EXPECT_TRUE(s.auditor().ok()) << s.auditor().report();
     const auto starts = s.tracer().events_of(metrics::TraceEventKind::kFlowStart);
     const auto finishes = s.tracer().events_of(metrics::TraceEventKind::kFlowFinish);
     ASSERT_EQ(starts.size(), 1u);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.h"
@@ -93,6 +94,11 @@ RunResult run_engine(const Topology& topo, const PacketSimConfig& cfg,
                      const std::vector<FlowSpec>& flows,
                      const std::vector<LinkId>& measured, Duration horizon) {
   Sim s;
+  // The dense engine runs with the invariant audit armed (the reference
+  // engine predates the auditor). Audit probes must not perturb the event
+  // order, so the bit-identical comparison below doubles as proof that
+  // enabling the auditor is observation-only.
+  if constexpr (std::is_same_v<Sim, sim::Simulator>) s.auditor().enable();
   Engine eng{topo, s, cfg};
   RunResult r;
   for (const FlowSpec& f : flows) {
@@ -101,6 +107,9 @@ RunResult run_engine(const Topology& topo, const PacketSimConfig& cfg,
     });
   }
   s.run_for(horizon);
+  if constexpr (std::is_same_v<Sim, sim::Simulator>) {
+    EXPECT_TRUE(s.auditor().ok()) << s.auditor().report();
+  }
   r.events = s.processed_events();
   r.delivered = eng.packets_delivered();
   r.ecn = eng.ecn_marks();

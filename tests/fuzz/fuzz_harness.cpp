@@ -1,0 +1,372 @@
+#include "tests/fuzz/fuzz_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "ctrl/bgp.h"
+#include "flowsim/fluid.h"
+#include "flowsim/packet.h"
+#include "flowsim/session.h"
+#include "sim/simulator.h"
+
+namespace hpn::fuzz {
+namespace {
+
+/// Cross-engine agreement band, applied per flow on lossless-safe (Clos)
+/// topologies: engines must land within a 10x ratio or 100 ms of each other.
+/// Deliberately loose — the oracle targets "engine forgot / stalled a flow"
+/// class bugs, not model differences (DCQCN vs max-min fairness legitimately
+/// diverge on transients). Random multigraphs run the packet engine lossy,
+/// where timeout retransmission makes completion times heavy-tailed, so they
+/// only get the physical lower bound + completion oracles.
+constexpr double kRelBand = 10.0;
+constexpr double kAbsBandSec = 0.1;
+
+void append_failure(std::string& out, const std::string& msg) {
+  if (!out.empty()) out += '\n';
+  out += msg;
+}
+
+/// Physically slowest rate a flow can be excused for: its own cap and every
+/// link capacity on its path bound the delivery rate from above, so
+/// size / min_cap lower-bounds the completion time in every engine.
+double min_cap_bps(const topo::Topology& topo, const Materialized::Flow& f) {
+  double m = f.cap.as_bits_per_sec();
+  for (const LinkId l : f.path) {
+    m = std::min(m, topo.link(l).capacity.as_bits_per_sec());
+  }
+  return m;
+}
+
+void check_lower_bounds(const Materialized& m, const std::vector<double>& fct,
+                        double slack_sec, const char* engine, std::string& out) {
+  for (std::size_t i = 0; i < m.flows.size(); ++i) {
+    if (fct[i] < 0.0) continue;  // Incomplete (stalled by a fault): no bound.
+    const double lb =
+        static_cast<double>(m.flows[i].size.as_bits()) / min_cap_bps(m.cluster.topo, m.flows[i]);
+    if (fct[i] < lb * (1.0 - 1e-9) - slack_sec) {
+      std::ostringstream os;
+      os << engine << ": flow " << i << " finished in " << fct[i]
+         << " s, below physical bound " << lb << " s";
+      append_failure(out, os.str());
+    }
+  }
+}
+
+void down_node_links(topo::Topology& topo, NodeId node, bool up) {
+  for (const LinkId l : topo.out_links(node)) topo.set_duplex_up(l, up);
+}
+
+/// FlowSession phase: the workload runs *with* the fault schedule. Faults
+/// flip link state and refresh() the solver; repairs flip it back. Oracles:
+/// auditor clean, no flow beats its physical bound, and on fault-free
+/// scenarios every flow completes.
+void run_session_phase(const Scenario& s, std::vector<double>& fct, std::string& out) {
+  Materialized m = materialize(s);
+  sim::Simulator sim;
+  sim.auditor().enable();
+  flowsim::FlowSession session(m.cluster.topo, sim);
+
+  fct.assign(m.flows.size(), -1.0);
+  sim::Simulator* simp = &sim;
+  std::vector<double>* fcts = &fct;
+  for (std::size_t i = 0; i < m.flows.size(); ++i) {
+    const Materialized::Flow& f = m.flows[i];
+    session.start_flow(f.path, f.size, f.cap, [simp, fcts, i](FlowId) {
+      (*fcts)[i] = simp->now().since_origin().as_seconds();
+    });
+  }
+
+  topo::Topology* topo = &m.cluster.topo;
+  flowsim::FlowSession* sess = &session;
+  for (const Materialized::Fault& fault : m.faults) {
+    if (fault.kind == ScenarioFault::Kind::kTorCrash) {
+      const NodeId tor = fault.tor;
+      sim.schedule_at(fault.at, [topo, sess, tor] {
+        down_node_links(*topo, tor, false);
+        sess->refresh();
+      });
+      if (fault.down_for > Duration::zero()) {
+        sim.schedule_at(fault.at + fault.down_for, [topo, sess, tor] {
+          down_node_links(*topo, tor, true);
+          sess->refresh();
+        });
+      }
+    } else {
+      const LinkId cable = fault.cable;
+      sim.schedule_at(fault.at, [topo, sess, cable] {
+        topo->set_duplex_up(cable, false);
+        sess->refresh();
+      });
+      if (fault.down_for > Duration::zero()) {
+        sim.schedule_at(fault.at + fault.down_for, [topo, sess, cable] {
+          topo->set_duplex_up(cable, true);
+          sess->refresh();
+        });
+      }
+    }
+  }
+
+  sim.run();
+
+  if (!sim.auditor().ok()) {
+    append_failure(out, "session: " + sim.auditor().report());
+  }
+  if (m.faults.empty() && session.active_flows() != 0) {
+    std::ostringstream os;
+    os << "session: " << session.active_flows()
+       << " flow(s) never completed on a fault-free scenario";
+    append_failure(out, os.str());
+  }
+  check_lower_bounds(m, fct, 2e-9, "session", out);
+}
+
+/// BGP phase: originate host routes, replay the fault schedule as
+/// control-plane events, require quiescence, and audit the FIBs for loops,
+/// blackholes, and routes over down links.
+void run_bgp_phase(const Scenario& s, const RunOptions& opts, std::string& out) {
+  Materialized m = materialize(s);
+  if (m.cluster.hosts.empty()) return;  // kRandom builds no BGP speakers.
+
+  sim::Simulator sim;
+  sim.auditor().enable();
+  ctrl::BgpFabric bgp(m.cluster, sim);
+  bgp.set_drop_withdrawals(opts.drop_withdrawals);
+  bgp.originate_all_host_routes();
+  sim.run();
+
+  topo::Topology* topo = &m.cluster.topo;
+  ctrl::BgpFabric* bgpp = &bgp;
+  const auto notify_node_links = [topo, bgpp](NodeId node, bool up) {
+    for (const LinkId l : topo->out_links(node)) {
+      const topo::Link& lk = topo->link(l);
+      if (lk.kind == topo::LinkKind::kAccess) {
+        // on_access_* expects the NIC -> ToR direction.
+        if (up) {
+          bgpp->on_access_up(lk.reverse);
+        } else {
+          bgpp->on_access_down(lk.reverse);
+        }
+      } else if (lk.kind == topo::LinkKind::kFabric) {
+        if (up) {
+          bgpp->on_fabric_up(l);
+        } else {
+          bgpp->on_fabric_down(l);
+        }
+      }
+    }
+  };
+
+  // Origination convergence has already advanced the clock, so fault times
+  // are applied as offsets from the converged instant.
+  const TimePoint base = sim.now();
+  for (const Materialized::Fault& fault : m.faults) {
+    const TimePoint at = base + fault.at.since_origin();
+    sim.run_until(at);
+    if (fault.kind == ScenarioFault::Kind::kTorCrash) {
+      const NodeId tor = fault.tor;
+      down_node_links(*topo, tor, false);
+      notify_node_links(tor, false);
+      if (fault.down_for > Duration::zero()) {
+        sim.schedule_at(at + fault.down_for, [topo, tor, notify_node_links] {
+          down_node_links(*topo, tor, true);
+          notify_node_links(tor, true);
+        });
+      }
+    } else {
+      const LinkId cable = fault.cable;
+      const topo::Link& lk = topo->link(cable);
+      topo->set_duplex_up(cable, false);
+      if (lk.kind == topo::LinkKind::kAccess) {
+        bgp.on_access_down(cable);
+      } else {
+        bgp.on_fabric_down(cable);
+      }
+      if (fault.down_for > Duration::zero()) {
+        const bool access = lk.kind == topo::LinkKind::kAccess;
+        sim.schedule_at(at + fault.down_for, [topo, bgpp, cable, access] {
+          topo->set_duplex_up(cable, true);
+          if (access) {
+            bgpp->on_access_up(cable);
+          } else {
+            bgpp->on_fabric_up(cable);
+          }
+        });
+      }
+    }
+  }
+
+  sim.run();
+  if (!bgp.quiescent()) {
+    append_failure(out, "bgp: not quiescent after the event queue drained");
+  }
+  bgp.audit_fib(sim.auditor());
+  if (!sim.auditor().ok()) {
+    append_failure(out, "bgp: " + sim.auditor().report());
+  }
+}
+
+/// Fluid phase (fault-free scenarios only): same flows, tick engine.
+void run_fluid_phase(const Scenario& s, const RunOptions& opts,
+                     std::vector<double>& fct, std::string& out) {
+  Materialized m = materialize(s);
+  sim::Simulator sim;
+  sim.auditor().enable();
+  flowsim::FluidSimulator fluid(m.cluster.topo, sim);
+
+  fct.assign(m.flows.size(), -1.0);
+  sim::Simulator* simp = &sim;
+  std::vector<double>* fcts = &fct;
+  for (std::size_t i = 0; i < m.flows.size(); ++i) {
+    const Materialized::Flow& f = m.flows[i];
+    fluid.start_flow(f.path, f.cap, f.size, [simp, fcts, i](FlowId) {
+      (*fcts)[i] = simp->now().since_origin().as_seconds();
+    });
+  }
+
+  const TimePoint horizon = TimePoint::origin() + opts.horizon;
+  while (fluid.active_flows() > 0 && sim.now() < horizon) {
+    sim.run_until(std::min(horizon, sim.now() + Duration::millis(20)));
+  }
+  if (fluid.active_flows() != 0) {
+    std::ostringstream os;
+    os << "fluid: " << fluid.active_flows() << " flow(s) still active at the "
+       << opts.horizon.as_seconds() << " s horizon";
+    append_failure(out, os.str());
+  } else {
+    sim.run();  // Drain the disarming timer event.
+  }
+
+  if (!sim.auditor().ok()) {
+    append_failure(out, "fluid: " + sim.auditor().report());
+  }
+  // Completion is detected at tick granularity; allow two ticks of slack.
+  check_lower_bounds(m, fct, 2.0 * fluid.config().tick.as_seconds(), "fluid", out);
+}
+
+/// Packet phase (fault-free scenarios only). PFC lossless on Clos shapes;
+/// lossy with timeout retransmission on random multigraphs, where cyclic
+/// buffer dependencies make PFC deadlock a property of the topology rather
+/// than a bug.
+void run_packet_phase(const Scenario& s, const RunOptions& opts,
+                      std::vector<double>& fct, std::string& out) {
+  Materialized m = materialize(s);
+  sim::Simulator sim;
+  sim.auditor().enable();
+  flowsim::PacketSimConfig cfg;
+  cfg.pfc = m.lossless_safe;
+  cfg.seed = s.seed ^ 0x5EEDF00DULL;
+  flowsim::PacketSimulator packet(m.cluster.topo, sim, cfg);
+
+  fct.assign(m.flows.size(), -1.0);
+  sim::Simulator* simp = &sim;
+  std::vector<double>* fcts = &fct;
+  for (std::size_t i = 0; i < m.flows.size(); ++i) {
+    const Materialized::Flow& f = m.flows[i];
+    packet.start_flow(f.path, f.size, f.cap, [simp, fcts, i](FlowId) {
+      (*fcts)[i] = simp->now().since_origin().as_seconds();
+    });
+  }
+
+  const TimePoint horizon = TimePoint::origin() + opts.horizon;
+  while (packet.active_flows() > 0 && sim.now() < horizon) {
+    sim.run_until(std::min(horizon, sim.now() + Duration::millis(20)));
+  }
+  if (packet.active_flows() != 0) {
+    std::ostringstream os;
+    os << "packet: " << packet.active_flows() << " flow(s) still active at the "
+       << opts.horizon.as_seconds() << " s horizon"
+       << (cfg.pfc ? " (possible PFC deadlock)" : "");
+    append_failure(out, os.str());
+  } else {
+    sim.run();  // Drain stale timers, then audit the byte ledger.
+    packet.audit_quiescent();
+  }
+
+  if (!sim.auditor().ok()) {
+    append_failure(out, "packet: " + sim.auditor().report());
+  }
+  check_lower_bounds(m, fct, 1e-6, "packet", out);
+}
+
+void check_agreement(const Materialized& m, const std::vector<double>& a,
+                     const char* a_name, const std::vector<double>& b,
+                     const char* b_name, std::string& out) {
+  for (std::size_t i = 0; i < m.flows.size(); ++i) {
+    if (a[i] < 0.0 || b[i] < 0.0) continue;
+    const double hi = std::max(a[i], b[i]);
+    const double lo = std::min(a[i], b[i]);
+    if (hi > lo * kRelBand + kAbsBandSec) {
+      std::ostringstream os;
+      os << "cross-engine: flow " << i << " fct disagrees beyond the band: "
+         << a_name << "=" << a[i] << " s vs " << b_name << "=" << b[i] << " s";
+      append_failure(out, os.str());
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
+  std::string failure;
+  std::vector<double> session_fct;
+  run_session_phase(scenario, session_fct, failure);
+  run_bgp_phase(scenario, options, failure);
+
+  if (scenario.faults.empty()) {
+    // Cross-engine oracles need an undisturbed workload: fluid has no
+    // link-repair semantics and lossy retransmission tails would swamp the
+    // bands, so the finer engines only run the fault-free scenarios.
+    std::vector<double> fluid_fct;
+    std::vector<double> packet_fct;
+    run_fluid_phase(scenario, options, fluid_fct, failure);
+    run_packet_phase(scenario, options, packet_fct, failure);
+
+    const Materialized m = materialize(scenario);
+    if (m.lossless_safe) {
+      check_agreement(m, session_fct, "session", fluid_fct, "fluid", failure);
+      check_agreement(m, session_fct, "session", packet_fct, "packet", failure);
+    }
+  }
+
+  RunResult r;
+  r.ok = failure.empty();
+  r.failure = std::move(failure);
+  return r;
+}
+
+Scenario shrink(Scenario failing, const FailPredicate& still_fails, int max_evals) {
+  int evals = 0;
+  bool progressed = true;
+  while (progressed && evals < max_evals) {
+    progressed = false;
+    for (const Scenario& cand : shrink_candidates(failing)) {
+      if (++evals > max_evals) break;
+      if (still_fails(cand)) {
+        failing = cand;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return failing;
+}
+
+std::string write_repro(const Scenario& scenario, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::ostringstream name;
+  name << "repro_" << to_string(scenario.topology) << "_seed" << scenario.seed
+       << ".scenario";
+  const std::filesystem::path path = std::filesystem::path(dir) / name.str();
+  std::ofstream os(path);
+  HPN_CHECK(os.good());
+  os << scenario.to_text();
+  return path.string();
+}
+
+}  // namespace hpn::fuzz

@@ -1,0 +1,56 @@
+// Fuzz harness: run one Scenario through every engine with the
+// InvariantAuditor enabled and a battery of cross-engine oracles, plus the
+// greedy shrinker and `.scenario` repro writer the fuzz driver uses.
+//
+// Per scenario:
+//   - FlowSession runs the workload *with* the fault schedule (link/ToR
+//     faults applied as simulator events + session.refresh()).
+//   - BgpFabric originates host routes, replays the fault schedule as
+//     control-plane events, and is audited for FIB loops/blackholes/down
+//     links at quiescence.
+//   - On fault-free scenarios the fluid and packet engines run the same
+//     flows and per-flow completion times are compared across engines
+//     (physical lower bound for every engine; generous agreement band on
+//     lossless-safe topologies).
+//
+// Every engine gets its own Simulator and its own materialize() of the
+// scenario, so engines can never observe each other's topology mutations.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tests/support/scenario.h"
+
+namespace hpn::fuzz {
+
+struct RunOptions {
+  /// BGP sabotage knob (auditor validation): silently drop WITHDRAWs so
+  /// stale routes survive and audit_fib must catch the resulting loops.
+  bool drop_withdrawals = false;
+  /// Wall for the tick/packet engines; an engine still holding active flows
+  /// at the horizon is reported as a failure (stall / deadlock oracle).
+  Duration horizon = Duration::seconds(8);
+};
+
+struct RunResult {
+  bool ok = true;
+  std::string failure;  ///< Empty when ok; phase-tagged details otherwise.
+};
+
+/// Run the full oracle battery. Deterministic: same scenario + options give
+/// the same result, so a failure can be replayed from its `.scenario` file.
+RunResult run_scenario(const Scenario& scenario, const RunOptions& options = {});
+
+using FailPredicate = std::function<bool(const Scenario&)>;
+
+/// Greedy shrink: repeatedly take the first shrink_candidates() entry that
+/// still fails, until none does (or `max_evals` predicate runs). Terminates
+/// because every candidate has strictly smaller scenario_weight().
+Scenario shrink(Scenario failing, const FailPredicate& still_fails, int max_evals = 400);
+
+/// Write `scenario.to_text()` to `<dir>/repro_<topology>_seed<seed>.scenario`
+/// (creating `dir`), returning the path written.
+std::string write_repro(const Scenario& scenario, const std::string& dir);
+
+}  // namespace hpn::fuzz

@@ -1,0 +1,153 @@
+// hpnsim_fuzz: standalone scenario-fuzzing driver.
+//
+//   hpnsim_fuzz --runs 500 --jobs 4 --seed 1 --out tests/fuzz/regressions
+//   hpnsim_fuzz --replay path/to/repro.scenario
+//
+// Scenario i draws from seed `master ^ golden*(i+1)`, so results are a
+// function of (--seed, --runs) alone — sharding across --jobs threads never
+// changes which scenarios run or what they contain. On failure the driver
+// greedily shrinks the scenario and writes a `.scenario` repro file that
+// replays with --replay.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/fuzz/fuzz_harness.h"
+#include "tests/support/scenario.h"
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+struct Args {
+  int runs = 500;
+  int jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::uint64_t seed = 1;
+  std::string out = "fuzz-repros";
+  std::string replay;
+  bool ok = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        a.ok = false;
+        return "0";
+      }
+      return argv[++i];
+    };
+    if (flag == "--runs") {
+      a.runs = std::atoi(value());
+    } else if (flag == "--jobs") {
+      a.jobs = std::atoi(value());
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--out") {
+      a.out = value();
+    } else if (flag == "--replay") {
+      a.replay = value();
+    } else {
+      std::cerr << "unknown flag " << flag << "\n"
+                << "usage: hpnsim_fuzz [--runs N] [--jobs N] [--seed S] "
+                   "[--out DIR] [--replay FILE]\n";
+      a.ok = false;
+    }
+  }
+  if (a.runs < 1 || a.jobs < 1) a.ok = false;
+  return a;
+}
+
+int replay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "cannot read " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto s = hpn::fuzz::Scenario::from_text(buf.str());
+  if (!s.has_value()) {
+    std::cerr << path << " is not a valid .scenario file\n";
+    return 2;
+  }
+  const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(*s);
+  if (r.ok) {
+    std::cout << "replay clean: " << path << "\n";
+    return 0;
+  }
+  std::cout << "replay FAILED: " << path << "\n" << r.failure << "\n";
+  return 1;
+}
+
+struct Failure {
+  hpn::fuzz::Scenario scenario;
+  std::string detail;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) return 2;
+  if (!args.replay.empty()) return replay_file(args.replay);
+
+  std::mutex mu;
+  std::vector<Failure> failures;
+  std::atomic<int> done{0};
+
+  const auto shard = [&](int shard_index) {
+    for (int i = shard_index; i < args.runs; i += args.jobs) {
+      const std::uint64_t scenario_seed =
+          args.seed ^ (kGolden * (static_cast<std::uint64_t>(i) + 1));
+      const hpn::fuzz::Scenario s = hpn::fuzz::random_scenario(scenario_seed);
+      const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(s);
+      const int finished = done.fetch_add(1) + 1;
+      if (!r.ok) {
+        const std::lock_guard<std::mutex> lock(mu);
+        failures.push_back({s, r.failure});
+        std::cerr << "run " << i << " (seed " << scenario_seed << ") FAILED:\n"
+                  << r.failure << "\n";
+      }
+      if (finished % 100 == 0) {
+        const std::lock_guard<std::mutex> lock(mu);
+        std::cout << finished << "/" << args.runs << " scenarios done\n";
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(args.jobs));
+  for (int j = 0; j < args.jobs; ++j) pool.emplace_back(shard, j);
+  for (std::thread& t : pool) t.join();
+
+  if (failures.empty()) {
+    std::cout << "all " << args.runs << " scenarios clean (seed " << args.seed
+              << ", " << args.jobs << " jobs)\n";
+    return 0;
+  }
+
+  std::cout << failures.size() << " failing scenario(s); shrinking...\n";
+  for (Failure& f : failures) {
+    const hpn::fuzz::Scenario shrunk = hpn::fuzz::shrink(
+        f.scenario,
+        [](const hpn::fuzz::Scenario& c) { return !hpn::fuzz::run_scenario(c).ok; });
+    const std::string path = hpn::fuzz::write_repro(shrunk, args.out);
+    const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(shrunk);
+    std::cout << "wrote " << path << "\n"
+              << (r.failure.empty() ? f.detail : r.failure) << "\n";
+  }
+  std::cout << "replay any repro with: hpnsim_fuzz --replay <file>\n";
+  return 1;
+}

@@ -1,0 +1,548 @@
+#include "tests/support/scenario.h"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "topo/builders.h"
+
+namespace hpn::fuzz {
+
+namespace {
+
+constexpr std::string_view kHeader = "hpnsim-scenario v1";
+
+bool is_switch(topo::NodeKind kind) {
+  return kind == topo::NodeKind::kTor || kind == topo::NodeKind::kAgg ||
+         kind == topo::NodeKind::kCore;
+}
+
+/// Shortest path src -> dst over up access/fabric links, traversing only
+/// switch nodes in between (a path through another NIC is physically
+/// meaningless and, under PFC, can manufacture buffer cycles). BFS visits
+/// adjacency in link-id order, so the result is deterministic.
+std::vector<LinkId> bfs_path(const topo::Topology& t, NodeId src, NodeId dst) {
+  if (src == dst) return {};
+  std::vector<LinkId> via(t.node_count(), LinkId::invalid());
+  std::vector<char> seen(t.node_count(), 0);
+  std::vector<NodeId> queue{src};
+  seen[src.index()] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId at = queue[head];
+    for (const LinkId lid : t.out_links(at)) {
+      const topo::Link& l = t.link(lid);
+      if (!l.up || !t.is_up(l.reverse)) continue;
+      if (l.kind != topo::LinkKind::kAccess && l.kind != topo::LinkKind::kFabric) {
+        continue;
+      }
+      if (seen[l.dst.index()] != 0) continue;
+      if (l.dst != dst && !is_switch(t.node(l.dst).kind)) continue;
+      seen[l.dst.index()] = 1;
+      via[l.dst.index()] = lid;
+      if (l.dst == dst) {
+        std::vector<LinkId> path;
+        for (NodeId n = dst; n != src;) {
+          const LinkId step = via[n.index()];
+          path.push_back(step);
+          n = t.link(step).src;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(l.dst);
+    }
+  }
+  return {};
+}
+
+/// The shrinker's terminal topology: hosts as bare NICs, two ToRs, one or
+/// two Aggs. Keeps dual-ToR origination and tier2 transit meaningful at
+/// 4-8 nodes (1 host + 2 ToRs + 1 Agg = 4).
+topo::Cluster build_tiny_clos(std::uint32_t hosts_knob, std::uint32_t aggs_knob) {
+  const int hosts = static_cast<int>(std::clamp<std::uint32_t>(hosts_knob, 1, 4));
+  const int aggs = static_cast<int>(std::clamp<std::uint32_t>(aggs_knob, 1, 2));
+  topo::Cluster c;
+  c.arch = topo::Arch::kHpn;
+  c.gpus_per_host = 0;  // NIC-only hosts; nothing here navigates GPUs.
+  c.pods = 1;
+  c.segments_per_pod = 1;
+
+  topo::Location sloc;
+  sloc.pod = 0;
+  sloc.segment = 0;
+  const NodeId tor0 = c.topo.add_node(topo::NodeKind::kTor, "tor0", sloc);
+  const NodeId tor1 = c.topo.add_node(topo::NodeKind::kTor, "tor1", sloc);
+  c.tors = {tor0, tor1};
+  for (int a = 0; a < aggs; ++a) {
+    topo::Location aloc;
+    aloc.pod = 0;
+    aloc.local = a;
+    const NodeId agg =
+        c.topo.add_node(topo::NodeKind::kAgg, "agg" + std::to_string(a), aloc);
+    c.aggs.push_back(agg);
+    c.topo.add_duplex_link(tor0, agg, topo::LinkKind::kFabric, Bandwidth::gbps(400),
+                           Duration::micros(1));
+    c.topo.add_duplex_link(tor1, agg, topo::LinkKind::kFabric, Bandwidth::gbps(400),
+                           Duration::micros(1));
+  }
+  for (int h = 0; h < hosts; ++h) {
+    topo::Location hloc;
+    hloc.pod = 0;
+    hloc.segment = 0;
+    hloc.host = h;
+    const NodeId nic =
+        c.topo.add_node(topo::NodeKind::kNic, "h" + std::to_string(h) + ".nic", hloc);
+    topo::Host host;
+    host.index = h;
+    topo::NicAttachment att;
+    att.nic = nic;
+    att.ports = 2;
+    att.tor[0] = tor0;
+    att.tor[1] = tor1;
+    att.access[0] = c.topo
+                        .add_duplex_link(nic, tor0, topo::LinkKind::kAccess,
+                                         Bandwidth::gbps(200), Duration::micros(1))
+                        .forward;
+    att.access[1] = c.topo
+                        .add_duplex_link(nic, tor1, topo::LinkKind::kAccess,
+                                         Bandwidth::gbps(200), Duration::micros(1))
+                        .forward;
+    host.nics.push_back(att);
+    c.hosts.push_back(std::move(host));
+  }
+  c.rebuild_gpu_index();
+  return c;
+}
+
+/// random_scenarios.h-style connected multigraph, rebuilt deterministically
+/// from (seed, size_knob, wiring) so a shrunk recipe reproduces its wiring.
+topo::Cluster build_random_net(std::uint64_t seed, std::uint32_t nodes_knob,
+                               std::uint32_t extra_knob) {
+  const int nodes = static_cast<int>(std::clamp<std::uint32_t>(nodes_knob, 2, 32));
+  const int extra = static_cast<int>(std::min<std::uint32_t>(extra_knob, 64));
+  Rng rng{seed ^ 0xC2B2AE3D27D4EB4FULL};
+  topo::Cluster c;
+  c.arch = topo::Arch::kFatTree;  // closest "generic graph" label
+  c.gpus_per_host = 0;
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    ids.push_back(c.topo.add_node(topo::NodeKind::kTor, "n" + std::to_string(i)));
+  }
+  c.tors = ids;
+  static constexpr double kPaletteGbps[] = {10, 25, 40, 100, 200, 400};
+  const auto random_capacity = [&rng] {
+    if (rng.bernoulli(0.6)) return Bandwidth::gbps(kPaletteGbps[rng.uniform_index(6)]);
+    return Bandwidth::gbps(rng.uniform_real(5.0, 500.0));
+  };
+  const auto wire = [&](NodeId a, NodeId b) {
+    c.topo.add_duplex_link(a, b, topo::LinkKind::kFabric, random_capacity(),
+                           Duration::micros(1));
+  };
+  for (int i = 1; i < nodes; ++i) {
+    wire(ids[static_cast<std::size_t>(i - 1)], ids[static_cast<std::size_t>(i)]);
+  }
+  for (int e = 0; e < extra; ++e) {
+    const auto a = rng.uniform_index(static_cast<std::uint64_t>(nodes));
+    auto b = rng.uniform_index(static_cast<std::uint64_t>(nodes));
+    if (a == b) b = (b + 1) % static_cast<std::uint64_t>(nodes);
+    wire(ids[a], ids[b]);
+  }
+  c.rebuild_gpu_index();
+  return c;
+}
+
+std::uint64_t parse_u64(std::string_view token, bool& ok) {
+  std::uint64_t value = 0;
+  if (token.empty()) {
+    ok = false;
+    return 0;
+  }
+  for (const char ch : token) {
+    if (ch < '0' || ch > '9') {
+      ok = false;
+      return 0;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return value;
+}
+
+int topology_rank(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kTinyClos: return 0;
+    case TopologyKind::kFatTree: return 1;
+    case TopologyKind::kDcnPlus: return 2;
+    case TopologyKind::kHpnSegment: return 3;
+    case TopologyKind::kRandom: return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kTinyClos: return "tiny_clos";
+    case TopologyKind::kHpnSegment: return "hpn_segment";
+    case TopologyKind::kDcnPlus: return "dcn_plus";
+    case TopologyKind::kFatTree: return "fat_tree";
+    case TopologyKind::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+std::optional<TopologyKind> topology_kind_from(std::string_view name) {
+  for (const TopologyKind k :
+       {TopologyKind::kTinyClos, TopologyKind::kHpnSegment, TopologyKind::kDcnPlus,
+        TopologyKind::kFatTree, TopologyKind::kRandom}) {
+    if (to_string(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(ScenarioFault::Kind kind) {
+  switch (kind) {
+    case ScenarioFault::Kind::kLinkFail: return "link_fail";
+    case ScenarioFault::Kind::kLinkFlap: return "link_flap";
+    case ScenarioFault::Kind::kTorCrash: return "tor_crash";
+  }
+  return "unknown";
+}
+
+std::string Scenario::to_text() const {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  os << "seed " << seed << '\n';
+  os << "topology " << to_string(topology) << '\n';
+  os << "size " << size_knob << '\n';
+  os << "wiring " << wiring << '\n';
+  for (const ScenarioFlow& f : flows) {
+    os << "flow " << f.src << ' ' << f.dst << ' ' << f.size_bytes << ' '
+       << std::setprecision(17) << f.cap_gbps << '\n';
+  }
+  for (const ScenarioFault& f : faults) {
+    os << "fault " << to_string(f.kind) << ' ' << f.at_ns << ' ' << f.target << ' '
+       << f.down_for_ns << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<Scenario> Scenario::from_text(std::string_view text) {
+  std::istringstream is{std::string{text}};
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) return std::nullopt;
+
+  Scenario s;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "seed") {
+      std::string tok;
+      ls >> tok;
+      bool ok = true;
+      s.seed = parse_u64(tok, ok);
+      if (!ok) return std::nullopt;
+    } else if (key == "topology") {
+      std::string name;
+      ls >> name;
+      const auto kind = topology_kind_from(name);
+      if (!kind) return std::nullopt;
+      s.topology = *kind;
+    } else if (key == "size") {
+      if (!(ls >> s.size_knob)) return std::nullopt;
+    } else if (key == "wiring") {
+      if (!(ls >> s.wiring)) return std::nullopt;
+    } else if (key == "flow") {
+      ScenarioFlow f;
+      if (!(ls >> f.src >> f.dst >> f.size_bytes >> f.cap_gbps)) return std::nullopt;
+      if (f.size_bytes < 0 || !(f.cap_gbps > 0.0)) return std::nullopt;
+      s.flows.push_back(f);
+    } else if (key == "fault") {
+      ScenarioFault f;
+      std::string kind_name;
+      if (!(ls >> kind_name >> f.at_ns >> f.target >> f.down_for_ns)) return std::nullopt;
+      if (f.at_ns < 0 || f.down_for_ns < 0) return std::nullopt;
+      if (kind_name == "link_fail") {
+        f.kind = ScenarioFault::Kind::kLinkFail;
+      } else if (kind_name == "link_flap") {
+        f.kind = ScenarioFault::Kind::kLinkFlap;
+      } else if (kind_name == "tor_crash") {
+        f.kind = ScenarioFault::Kind::kTorCrash;
+      } else {
+        return std::nullopt;
+      }
+      s.faults.push_back(f);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_end) return std::nullopt;
+  return s;
+}
+
+Scenario random_scenario(std::uint64_t seed) {
+  Rng rng{seed};
+  Scenario s;
+  s.seed = seed;
+
+  const double pick = rng.uniform_real();
+  if (pick < 0.40) {
+    s.topology = TopologyKind::kRandom;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(4, 14));
+    s.wiring = static_cast<std::uint32_t>(rng.uniform_int(0, 2 * s.size_knob));
+  } else if (pick < 0.58) {
+    s.topology = TopologyKind::kTinyClos;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    s.wiring = static_cast<std::uint32_t>(rng.uniform_int(1, 2));
+  } else if (pick < 0.74) {
+    s.topology = TopologyKind::kHpnSegment;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    s.wiring = 0;
+  } else if (pick < 0.88) {
+    s.topology = TopologyKind::kDcnPlus;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 2));
+    s.wiring = 0;
+  } else {
+    s.topology = TopologyKind::kFatTree;
+    s.size_knob = 4;
+    s.wiring = 0;
+  }
+
+  static constexpr std::int64_t kSizePalette[] = {2'048, 65'536, 262'144, 1'048'576};
+  static constexpr double kCapPalette[] = {25.0, 50.0, 100.0, 200.0};
+  const int flow_count = static_cast<int>(rng.uniform_int(2, 10));
+  for (int i = 0; i < flow_count; ++i) {
+    ScenarioFlow f;
+    f.src = static_cast<std::uint32_t>(rng.next_u64() & 0xFFFFu);
+    f.dst = static_cast<std::uint32_t>(rng.next_u64() & 0xFFFFu);
+    f.size_bytes = rng.bernoulli(0.7) ? kSizePalette[rng.uniform_index(4)]
+                                      : rng.uniform_int(1'024, 2'097'152);
+    f.cap_gbps = rng.bernoulli(0.7) ? kCapPalette[rng.uniform_index(4)]
+                                    : rng.uniform_real(5.0, 300.0);
+    s.flows.push_back(f);
+  }
+
+  if (rng.bernoulli(0.45)) {
+    const int fault_count = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < fault_count; ++i) {
+      ScenarioFault f;
+      const double kind = rng.uniform_real();
+      f.kind = kind < 0.45   ? ScenarioFault::Kind::kLinkFail
+               : kind < 0.85 ? ScenarioFault::Kind::kLinkFlap
+                             : ScenarioFault::Kind::kTorCrash;
+      f.at_ns = rng.uniform_int(0, 3'000'000);  // within the first 3 ms
+      f.target = static_cast<std::uint32_t>(rng.next_u64() & 0xFFFFu);
+      if (f.kind == ScenarioFault::Kind::kLinkFlap) {
+        f.down_for_ns = rng.uniform_int(50'000, 1'000'000);
+      } else if (f.kind == ScenarioFault::Kind::kLinkFail && rng.bernoulli(0.5)) {
+        f.down_for_ns = rng.uniform_int(500'000, 3'000'000);
+      } else if (f.kind == ScenarioFault::Kind::kTorCrash) {
+        f.down_for_ns = rng.bernoulli(0.5) ? rng.uniform_int(1'000'000, 5'000'000) : 0;
+      }
+      s.faults.push_back(f);
+    }
+  }
+  return s;
+}
+
+Materialized materialize(const Scenario& scenario) {
+  Materialized m;
+  switch (scenario.topology) {
+    case TopologyKind::kTinyClos:
+      m.cluster = build_tiny_clos(scenario.size_knob, scenario.wiring);
+      break;
+    case TopologyKind::kHpnSegment: {
+      topo::HpnConfig cfg;
+      cfg.pods = 1;
+      cfg.segments_per_pod = 2;  // >1 so tier2 exists and BGP has transit
+      cfg.hosts_per_segment =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 3));
+      cfg.gpus_per_host = 2;
+      cfg.tor_uplinks = 2;
+      cfg.aggs_per_plane = 2;
+      cfg.agg_core_uplinks = 1;
+      m.cluster = topo::build_hpn(cfg);
+      break;
+    }
+    case TopologyKind::kDcnPlus: {
+      topo::DcnPlusConfig cfg;
+      cfg.pods = 1;
+      cfg.segments_per_pod = 2;
+      cfg.hosts_per_segment =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 2));
+      cfg.gpus_per_host = 2;
+      cfg.aggs_per_pod = 2;
+      cfg.links_per_tor_agg = 1;
+      m.cluster = topo::build_dcn_plus(cfg);
+      break;
+    }
+    case TopologyKind::kFatTree: {
+      topo::FatTreeConfig cfg;
+      cfg.k = 4;
+      m.cluster = topo::build_fat_tree(cfg);
+      break;
+    }
+    case TopologyKind::kRandom:
+      m.cluster = build_random_net(scenario.seed, scenario.size_knob, scenario.wiring);
+      break;
+  }
+  m.lossless_safe = scenario.topology != TopologyKind::kRandom;
+
+  // Eligible endpoints: every NIC for built clusters, every node for the
+  // random multigraph (whose nodes are all generic switches).
+  if (scenario.topology == TopologyKind::kRandom) {
+    for (const topo::Node& n : m.cluster.topo.nodes()) m.endpoints.push_back(n.id);
+  } else {
+    for (const topo::Host& h : m.cluster.hosts) {
+      for (const topo::NicAttachment& att : h.nics) m.endpoints.push_back(att.nic);
+    }
+  }
+  HPN_CHECK_MSG(!m.endpoints.empty(), "scenario topology produced no endpoints");
+
+  for (const topo::Link& l : m.cluster.topo.links()) {
+    if (l.kind != topo::LinkKind::kAccess && l.kind != topo::LinkKind::kFabric) continue;
+    if (l.id.index() < l.reverse.index()) m.cables.push_back(l.id);
+  }
+
+  const auto n = static_cast<std::uint32_t>(m.endpoints.size());
+  for (const ScenarioFlow& f : scenario.flows) {
+    const std::uint32_t src_idx = f.src % n;
+    std::uint32_t dst_idx = f.dst % n;
+    if (dst_idx == src_idx) dst_idx = (dst_idx + 1) % n;
+    if (dst_idx == src_idx) continue;  // single-endpoint topology
+    Materialized::Flow flow;
+    flow.src = m.endpoints[src_idx];
+    flow.dst = m.endpoints[dst_idx];
+    flow.path = bfs_path(m.cluster.topo, flow.src, flow.dst);
+    if (flow.path.empty()) continue;  // unreachable pair: drop
+    flow.size = DataSize::bytes(std::max<std::int64_t>(1, f.size_bytes));
+    flow.cap = Bandwidth::gbps(std::clamp(f.cap_gbps, 0.5, 400.0));
+    m.flows.push_back(std::move(flow));
+  }
+
+  for (const ScenarioFault& f : scenario.faults) {
+    Materialized::Fault fault;
+    fault.kind = f.kind;
+    fault.at = TimePoint::origin() + Duration::nanos(std::max<std::int64_t>(0, f.at_ns));
+    fault.down_for = Duration::nanos(std::max<std::int64_t>(0, f.down_for_ns));
+    if (f.kind == ScenarioFault::Kind::kTorCrash) {
+      if (m.cluster.tors.empty()) continue;
+      fault.tor = m.cluster.tors[f.target % m.cluster.tors.size()];
+    } else {
+      if (m.cables.empty()) continue;
+      fault.cable = m.cables[f.target % m.cables.size()];
+    }
+    m.faults.push_back(fault);
+  }
+  // Apply in time order regardless of textual order (stable: equal times
+  // keep file order, which the engines then see identically).
+  std::stable_sort(m.faults.begin(), m.faults.end(),
+                   [](const Materialized::Fault& a, const Materialized::Fault& b) {
+                     return a.at < b.at;
+                   });
+  return m;
+}
+
+std::uint64_t scenario_weight(const Scenario& scenario) {
+  std::uint64_t size_bits = 0;
+  for (const ScenarioFlow& f : scenario.flows) {
+    size_bits += std::bit_width(static_cast<std::uint64_t>(std::max<std::int64_t>(1, f.size_bytes)));
+  }
+  std::uint64_t w = size_bits;
+  w += static_cast<std::uint64_t>(topology_rank(scenario.topology)) *
+       std::uint64_t{1'000'000'000'000'000};
+  w += scenario.flows.size() * std::uint64_t{1'000'000'000'000};
+  w += scenario.faults.size() * std::uint64_t{1'000'000'000};
+  w += static_cast<std::uint64_t>(scenario.size_knob) * std::uint64_t{1'000'000};
+  w += static_cast<std::uint64_t>(scenario.wiring) * std::uint64_t{10'000};
+  return w;
+}
+
+std::vector<Scenario> shrink_candidates(const Scenario& scenario) {
+  std::vector<Scenario> out;
+  const auto push = [&](Scenario cand) {
+    // Every candidate must be strictly smaller; the harness loop relies on
+    // that for termination.
+    if (scenario_weight(cand) < scenario_weight(scenario)) out.push_back(std::move(cand));
+  };
+
+  // Drop half the flows (front half, back half).
+  if (scenario.flows.size() > 1) {
+    const std::size_t half = scenario.flows.size() / 2;
+    Scenario front = scenario;
+    front.flows.erase(front.flows.begin(), front.flows.begin() + static_cast<std::ptrdiff_t>(half));
+    push(std::move(front));
+    Scenario back = scenario;
+    back.flows.resize(scenario.flows.size() - half);
+    push(std::move(back));
+  }
+  // Drop half the faults.
+  if (scenario.faults.size() > 1) {
+    const std::size_t half = scenario.faults.size() / 2;
+    Scenario front = scenario;
+    front.faults.erase(front.faults.begin(),
+                       front.faults.begin() + static_cast<std::ptrdiff_t>(half));
+    push(std::move(front));
+    Scenario back = scenario;
+    back.faults.resize(scenario.faults.size() - half);
+    push(std::move(back));
+  }
+  // Cross-kind simplification toward the 4-8 node terminal.
+  if (scenario.topology != TopologyKind::kTinyClos) {
+    Scenario tiny = scenario;
+    tiny.topology = TopologyKind::kTinyClos;
+    tiny.size_knob = std::min<std::uint32_t>(std::max<std::uint32_t>(scenario.size_knob, 1), 2);
+    tiny.wiring = 1;
+    push(std::move(tiny));
+  }
+  // Shrink the topology knobs.
+  if (scenario.size_knob > 1) {
+    Scenario smaller = scenario;
+    smaller.size_knob = std::max<std::uint32_t>(1, scenario.size_knob / 2);
+    push(std::move(smaller));
+  }
+  if (scenario.wiring > 1) {
+    Scenario sparser = scenario;
+    sparser.wiring = scenario.wiring / 2;
+    push(std::move(sparser));
+  }
+  // Drop individual flows / faults (bounded fan-out).
+  if (scenario.flows.size() <= 8) {
+    for (std::size_t i = 0; scenario.flows.size() > 1 && i < scenario.flows.size(); ++i) {
+      Scenario cand = scenario;
+      cand.flows.erase(cand.flows.begin() + static_cast<std::ptrdiff_t>(i));
+      push(std::move(cand));
+    }
+  }
+  if (scenario.faults.size() <= 8) {
+    for (std::size_t i = 0; !scenario.faults.empty() && i < scenario.faults.size(); ++i) {
+      Scenario cand = scenario;
+      cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
+      push(std::move(cand));
+    }
+  }
+  // Halve flow sizes.
+  bool any_large = false;
+  for (const ScenarioFlow& f : scenario.flows) any_large |= f.size_bytes > 2'048;
+  if (any_large) {
+    Scenario halved = scenario;
+    for (ScenarioFlow& f : halved.flows) {
+      f.size_bytes = std::max<std::int64_t>(1'024, f.size_bytes / 2);
+    }
+    push(std::move(halved));
+  }
+  return out;
+}
+
+}  // namespace hpn::fuzz

@@ -97,6 +97,9 @@ std::string run_failover_scenario() {
   cfg.hosts_per_segment = 4;
   topo::Cluster cluster = topo::build_hpn(cfg);
   sim::Simulator sim;
+  // Auditing on: the goldens double as proof that the invariant probes are
+  // observation-only (a perturbed event order would shift the trace).
+  sim.auditor().enable();
   sim.tracer().enable();
   flowsim::FlowSession session{cluster.topo, sim};
   routing::Router router{cluster.topo};
@@ -122,6 +125,7 @@ std::string run_failover_scenario() {
     job.on_fabric_change();
   });
   job.run_iterations(5);
+  EXPECT_TRUE(sim.auditor().ok()) << sim.auditor().report();
 
   return canonical(sim.tracer(),
                    {metrics::TraceEventKind::kLinkDown, metrics::TraceEventKind::kLinkUp,
@@ -160,6 +164,7 @@ std::string run_dualplane_scenario() {
                          routing::HashConfig{.seeds = routing::SeedPolicy::kIdentical}};
 
   sim::Simulator s;
+  s.auditor().enable();
   flowsim::FluidConfig fluid_cfg;
   fluid_cfg.tick = Duration::micros(200);
   fluid_cfg.trace_sample_every = 5;  // one sample per link per millisecond
@@ -182,6 +187,7 @@ std::string run_dualplane_scenario() {
   s.tracer().watch_link(c.topo.link(dst_att.access[0]).reverse);
   s.tracer().watch_link(c.topo.link(dst_att.access[1]).reverse);
   s.run_for(Duration::millis(20));
+  EXPECT_TRUE(s.auditor().ok()) << s.auditor().report();
 
   return canonical(s.tracer(), {metrics::TraceEventKind::kQueueDepth,
                                 metrics::TraceEventKind::kLinkUtilization});
