@@ -1,10 +1,13 @@
 // Shared scaffolding for the per-figure/table harness binaries.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "exec/runner_pool.h"
 #include "metrics/table.h"
 #include "metrics/trace.h"
 
@@ -16,9 +19,12 @@ inline constexpr const char* kResultsDir = "results";
 ///   --smoke          tiny-scale run for the ctest smoke suite (CI bit-rot
 ///                    detection, not paper numbers)
 ///   --trace <path>   export the simulation trace (.json => Chrome format)
+///   --jobs N         run independent sweep cases on N workers (default 1;
+///                    table rows and CSVs are identical at any job count)
 struct Args {
   bool smoke = false;
   std::string trace_path;
+  int jobs = 1;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -27,11 +33,25 @@ struct Args {
         a.smoke = true;
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         a.trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        a.jobs = std::atoi(argv[++i]);
+        if (a.jobs < 1) a.jobs = 1;
       }
     }
     return a;
   }
 };
+
+/// Parameter-sweep helper: run `fn(case)` for every case on `jobs` workers
+/// and return the results *in case order*, so tables and CSVs assembled
+/// from them are byte-identical regardless of --jobs. Each case must be an
+/// independent simulation — build its own topology/Simulator inside `fn`,
+/// share nothing mutable across cases.
+template <typename Case, typename Fn>
+auto sweep(const std::vector<Case>& cases, int jobs, Fn&& fn) {
+  exec::RunnerPool pool{jobs};
+  return pool.map(cases.size(), [&](std::size_t i) { return fn(cases[i]); });
+}
 
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n"

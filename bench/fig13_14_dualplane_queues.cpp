@@ -162,9 +162,22 @@ int main(int argc, char** argv) {
                 "(-91.8%)");
 
   const Duration sim_time = Duration::seconds(args.smoke ? 0.5 : 10.0);
-  const PortReport clos =
-      run(/*dual_plane=*/false, representative_clos_epoch(), sim_time, args.trace_path);
-  const PortReport dual = run(/*dual_plane=*/true, 7000, sim_time);
+  struct Case {
+    bool dual_plane;
+    std::uint16_t sport_base;
+    std::string trace;
+  };
+  // Both fabrics simulate independently (own topology + Simulator), so the
+  // sweep runs them on --jobs workers; only the Clos case exports a trace.
+  const std::vector<Case> cases{
+      Case{false, representative_clos_epoch(), args.trace_path},
+      Case{true, 7000, ""}};
+  const std::vector<PortReport> reports =
+      bench::sweep(cases, args.jobs, [&](const Case& c) {
+        return run(c.dual_plane, c.sport_base, sim_time, c.trace);
+      });
+  const PortReport& clos = reports[0];
+  const PortReport& dual = reports[1];
 
   metrics::Table t{"per-port offered load and queue after convergence"};
   t.columns({"tier2 design", "port1_gbps", "port2_gbps", "imbalance", "queue1_kb", "queue2_kb"});

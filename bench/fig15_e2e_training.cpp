@@ -156,8 +156,13 @@ int main(int argc, char** argv) {
                 "HPN +14.9% samples/s over DCN+ (19 segments -> 3 segments); cross-"
                 "segment traffic -37%; Agg queues deflate from multi-MB to near-zero");
 
-  const Result dcn = run(/*hpn=*/false, args);
-  const Result hpn = run(/*hpn=*/true, args);
+  // DCN+ and HPN are independent end-to-end sims; sweep them on --jobs
+  // workers (rows stay in fabric order either way).
+  const std::vector<bool> fabrics{false, true};
+  const std::vector<Result> results = bench::sweep(
+      fabrics, args.jobs, [&](bool is_hpn) { return run(is_hpn, args); });
+  const Result& dcn = results[0];
+  const Result& hpn = results[1];
 
   metrics::Table t{"end-to-end comparison"};
   t.columns({"fabric", "samples_per_s", "agg_traffic_gbps", "peak_agg_queue_mb"});

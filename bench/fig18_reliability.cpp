@@ -183,12 +183,17 @@ int main(int argc, char** argv) {
   // the runtime without exercising any additional code path.)
   std::vector<CaseA> cases{CaseA{true, 20.0}, CaseA{false, 20.0}};
   if (!args.smoke) cases.push_back(CaseA{false, 180.0});
-  bool exported = false;
-  for (const CaseA c : cases) {
-    // The dual-ToR failover drill is the canonical Chrome trace (--trace).
-    const std::string trace = c.dual && !exported ? args.trace_path : std::string{};
-    exported |= c.dual;
-    const Outcome o = run_link_failure(c.dual, Duration::seconds(c.repair_s), trace);
+  // Every case is an independent Rig+Simulator, so the sweep parallelizes
+  // across --jobs workers; rows come back in case order either way. Only
+  // the first case exports the canonical Chrome trace (--trace).
+  const std::vector<Outcome> outcomes =
+      bench::sweep(cases, args.jobs, [&](const CaseA& c) {
+        const std::string trace = c.dual ? args.trace_path : std::string{};
+        return run_link_failure(c.dual, Duration::seconds(c.repair_s), trace);
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseA& c = cases[i];
+    const Outcome& o = outcomes[i];
     a.add_row({c.dual ? "dual-ToR" : "single-ToR",
                metrics::Table::num(c.repair_s, 0) + "s", fmt(o.baseline),
                o.crashed ? "0.0 (halted)" : fmt(o.during),
@@ -198,7 +203,7 @@ int main(int argc, char** argv) {
                                                         : "halted, recovered")});
   }
   bench::emit(a, "fig18a_link_failure");
-  const Outcome dual_fail = run_link_failure(true, Duration::seconds(20.0));
+  const Outcome& dual_fail = outcomes[0];  // dual-ToR, 20 s repair
   std::cout << "dual-ToR degradation during failure: "
             << metrics::Table::percent(1.0 - dual_fail.during / dual_fail.baseline, 2)
             << " (paper: 6.25%)\n\n";

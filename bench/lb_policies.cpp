@@ -132,21 +132,32 @@ PolicyResult hpn_disjoint(const Scenario& sc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("§6.1/§11 — load-balancing policy comparison",
                 "per-flow ECMP collides on elephants; flowlet/per-packet balance "
                 "better but reorder (unusable for hardware RDMA); HPN's engineered "
                 "disjoint paths get per-packet-grade balance with zero reordering");
 
-  Scenario sc;
   metrics::Table t{"16 elephants across a segment pair, 32 candidate uplinks"};
   t.columns({"policy", "max_uplink_load_elephants", "bytes_exposed_to_reordering"});
-  const PolicyResult rows[] = {per_flow(sc), flowlet(sc, 8), per_packet(sc),
-                               hpn_disjoint(sc)};
+  // Each policy builds a private Scenario (topology + router), keeping the
+  // sweep free of shared mutable state across --jobs workers.
+  const std::vector<int> policies{0, 1, 2, 3};
+  const std::vector<PolicyResult> rows =
+      bench::sweep(policies, args.jobs, [](int policy) {
+        Scenario sc;
+        switch (policy) {
+          case 0: return per_flow(sc);
+          case 1: return flowlet(sc, 8);
+          case 2: return per_packet(sc);
+          default: return hpn_disjoint(sc);
+        }
+      });
   const char* names[] = {"per-flow ECMP", "flowlet (k=8)", "per-packet spray",
                          "HPN disjoint (RePaC)"};
-  for (int i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) {
     t.add_row({names[i], metrics::Table::num(rows[i].max_load, 2),
                metrics::Table::percent(rows[i].reordered_fraction, 0)});
   }

@@ -79,15 +79,21 @@ SoakResult soak(bool dual_tor, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("Reliability soak — one year of Fig 5 failure rates vs a 2304-GPU job",
                 "single-attached access: 1-2 crashes/month, ~$30K each; dual-ToR: "
                 "failures become transient degradations (zero single-point crashes "
                 "in 8 months of production)");
 
-  const SoakResult single = soak(false, 20240804);
-  const SoakResult dual = soak(true, 20240804);
+  // Both designs draw the same injection plan (same seed) against their own
+  // cluster + Simulator, so the sweep runs them on --jobs workers.
+  const std::vector<bool> designs{false, true};
+  const std::vector<SoakResult> results = bench::sweep(
+      designs, args.jobs, [](bool dual_tor) { return soak(dual_tor, 20240804); });
+  const SoakResult& single = results[0];
+  const SoakResult& dual = results[1];
 
   metrics::Table t{"one simulated year at Fig 5 failure rates"};
   t.columns({"access design", "injected_events", "job_crashes", "degradations",

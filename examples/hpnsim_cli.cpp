@@ -7,6 +7,10 @@
 //   hpnsim scale                           Table 2 / Table 4 arithmetic
 //   hpnsim failover [--trace out.json]     dual-ToR failover drill, exports
 //                                          the simulation-wide event trace
+//   hpnsim sweep   [--jobs N]              dual-ToR x repair-time failover
+//                                          grid (independent sims on a
+//                                          worker pool; table is identical
+//                                          at any --jobs)
 //
 // `--trace <path>` works on any command that runs the simulator; a `.json`
 // suffix selects Chrome trace_event format (open in chrome://tracing or
@@ -16,11 +20,15 @@
 //   hpnsim build --arch hpn --segments 15 --hosts 128       # the paper Pod
 //   hpnsim trace 0 1024 --sport 4242
 //   hpnsim failover --trace failover.json
+//   hpnsim sweep --jobs 4
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ctrl/fabric_controller.h"
+#include "exec/runner_pool.h"
+#include "metrics/table.h"
 #include "routing/int_probe.h"
 #include "routing/router.h"
 #include "topo/builders.h"
@@ -45,15 +53,18 @@ struct Options {
   int dst = 8;
   std::uint16_t sport = 4242;
   std::string trace_path;
+  int jobs = 1;
 };
 
 void usage() {
-  std::cout << "usage: hpnsim <build|trace|probe|scale|failover> [options]\n"
+  std::cout << "usage: hpnsim <build|trace|probe|scale|failover|sweep> [options]\n"
             << "  --arch hpn|dcn|fattree   architecture (default hpn)\n"
             << "  --segments N --hosts N --pods N\n"
             << "  --no-dual-tor --no-dual-plane --rail-only\n"
             << "  --trace <path>           export the simulation event trace\n"
             << "                           (.json = Chrome trace_event, else CSV)\n"
+            << "  --jobs N                 workers for `sweep` (output is\n"
+            << "                           identical at any job count)\n"
             << "  trace/probe: <src_rank> <dst_rank> [--sport P]\n";
 }
 
@@ -91,6 +102,9 @@ Options parse(int argc, char** argv) {
       o.sport = static_cast<std::uint16_t>(v);
     } else if (a == "--trace" && i + 1 < argc) {
       o.trace_path = argv[++i];
+    } else if (a == "--jobs") {
+      next_int(o.jobs);
+      if (o.jobs < 1) o.jobs = 1;
     } else if (!a.empty() && a[0] != '-') {
       (positional++ == 0 ? o.src : o.dst) = std::atoi(a.c_str());
     } else {
@@ -248,6 +262,77 @@ int cmd_failover(const Options& o) {
   return 0;
 }
 
+struct DrillOutcome {
+  double baseline = 0.0;
+  double after = 0.0;
+  bool crashed = false;
+};
+
+/// One compact failover drill (no tracing): 16 hosts / 128 GPUs, a NIC-ToR
+/// link fails mid-run and is repaired `repair_s` simulated seconds later.
+/// Builds its own cluster + Simulator so drills can run concurrently.
+DrillOutcome run_drill(bool dual_tor, double repair_s) {
+  auto cfg = topo::HpnConfig::tiny();
+  cfg.segments_per_pod = 1;
+  cfg.hosts_per_segment = 16;
+  cfg.dual_tor = dual_tor;
+  cfg.dual_plane = dual_tor;
+  topo::Cluster cluster = topo::build_hpn(cfg);
+  sim::Simulator sim;
+  flowsim::FlowSession session{cluster.topo, sim};
+  routing::Router router{cluster.topo};
+  ccl::ConnectionManager connections{cluster, router};
+  ctrl::FabricController fabric{cluster, sim, router};
+
+  auto model = workload::llama_7b();
+  model.compute_per_iteration = Duration::millis(200);
+  const auto plan = workload::ParallelismPlanner{cluster}.plan(8, 1, 16);
+  train::TrainingJob job{cluster, sim, session, connections, plan, model};
+
+  DrillOutcome out;
+  job.run_iterations(5);
+  out.baseline = job.steady_samples_per_sec(3);
+  fabric.fail_access(plan.hosts[0], 0, 0);
+  job.on_fabric_change();
+  sim.schedule_after(Duration::seconds(repair_s), [&] {
+    fabric.repair_access(plan.hosts[0], 0, 0);
+    job.on_fabric_change();
+  });
+  job.run_iterations(15);
+  out.crashed = job.state() == train::JobState::kCrashed;
+  out.after = out.crashed ? 0.0 : job.steady_samples_per_sec(3);
+  return out;
+}
+
+int cmd_sweep(const Options& o) {
+  struct Case {
+    bool dual;
+    double repair_s;
+  };
+  const std::vector<Case> cases{{true, 0.5},  {true, 2.0},  {true, 5.0},
+                                {false, 0.5}, {false, 2.0}, {false, 5.0}};
+  // Each case is an independent simulation; the pool fans them out over
+  // --jobs workers and map() returns results in case order, so the table
+  // is identical at any job count.
+  exec::RunnerPool pool{o.jobs};
+  const std::vector<DrillOutcome> outcomes = pool.map(
+      cases.size(),
+      [&](std::size_t i) { return run_drill(cases[i].dual, cases[i].repair_s); });
+
+  metrics::Table t{"failover drill grid — 128 GPUs, NIC-ToR link failure"};
+  t.columns({"design", "repair_after", "baseline_sps", "after_sps", "outcome"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const DrillOutcome& d = outcomes[i];
+    t.add_row({cases[i].dual ? "dual-ToR" : "single-ToR",
+               metrics::Table::num(cases[i].repair_s, 1) + "s",
+               metrics::Table::num(d.baseline, 1),
+               d.crashed ? "-" : metrics::Table::num(d.after, 1),
+               d.crashed ? "CRASHED" : "recovered"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 int cmd_scale() {
   std::cout << "Table 2 — scale mechanism chain:\n";
   for (const auto& s : topo::scale_mechanisms()) {
@@ -273,6 +358,7 @@ int main(int argc, char** argv) {
     if (o.command == "probe") return cmd_trace(o, true);
     if (o.command == "scale") return cmd_scale();
     if (o.command == "failover") return cmd_failover(o);
+    if (o.command == "sweep") return cmd_sweep(o);
     usage();
     return 1;
   } catch (const std::exception& e) {

@@ -1,11 +1,19 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <mutex>
+#include <string>
 
 namespace hpn {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serializes only the (cold) emission path. Parallel sweep runners
+/// (exec::RunnerPool) log concurrently; without this, the multi-insertion
+/// emit raced on std::clog and interleaved fragments of different lines.
+/// The hot path — the level check in HPN_LOG — never touches it.
+std::mutex g_sink_mu;
 
 }  // namespace
 
@@ -27,7 +35,18 @@ std::string_view to_string(LogLevel level) {
 namespace detail {
 
 void emit_log(LogLevel level, std::string_view msg) {
-  std::clog << '[' << to_string(level) << "] " << msg << '\n';
+  // Preformat and write once so a line can never be split mid-way, then
+  // hold the sink lock across the write + flush pair.
+  const std::string_view tag = to_string(level);
+  std::string line;
+  line.reserve(tag.size() + msg.size() + 4);
+  line += '[';
+  line += tag;
+  line += "] ";
+  line += msg;
+  line += '\n';
+  const std::lock_guard<std::mutex> lk(g_sink_mu);
+  std::clog.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 
 }  // namespace detail

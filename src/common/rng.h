@@ -12,14 +12,34 @@
 
 namespace hpn {
 
+namespace detail {
+
+/// splitmix64 finalizer (Vigna): a bijective avalanche mix, so inputs that
+/// differ in a single low bit come out looking independent.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_{seed} {}
 
   /// Derive an independent child stream (e.g. one per host) so adding a
   /// consumer does not perturb the draws seen by others.
+  ///
+  /// The parent draw and the golden-ratio-weighted salt are combined and
+  /// then run through a splitmix64 finalizer. The finalizer matters: the
+  /// raw combination alone made `fork(0)` a no-op xor (the child seed *was*
+  /// the parent's next draw, so `fork(0)` collided with `Rng{next_u64()}`)
+  /// and gave adjacent salts child seeds a single golden-ratio stride
+  /// apart — exactly the kind of structured seed set mt19937_64 seeding is
+  /// weak against.
   [[nodiscard]] Rng fork(std::uint64_t salt) {
-    return Rng{engine_() ^ (salt * 0x9E3779B97F4A7C15ULL)};
+    return Rng{detail::splitmix64_mix(engine_() ^ (salt * 0x9E3779B97F4A7C15ULL))};
   }
 
   std::uint64_t next_u64() { return engine_(); }

@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <bit>
+
 #include <gtest/gtest.h>
 
 namespace hpn {
@@ -22,8 +24,11 @@ TEST(Rng, GoldenSeedStability) {
   };
   for (const std::uint64_t want : expected) EXPECT_EQ(raw.next_u64(), want);
 
+  // Regenerated when fork() gained its splitmix64 finalizer (the old
+  // mixing made fork(0) a no-op and correlated adjacent salts); scenario
+  // repro files embed their contents, so the corpus survived the change.
   Rng parent{2024};
-  EXPECT_EQ(parent.fork(5).next_u64(), 0xFC72FEF9A611EE98ULL);
+  EXPECT_EQ(parent.fork(5).next_u64(), 0x7CD9512D6210508EULL);
 
 #if defined(__GLIBCXX__)
   {
@@ -63,6 +68,48 @@ TEST(Rng, DifferentSeedsDiffer) {
   int same = 0;
   for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
   EXPECT_LT(same, 3);
+}
+
+// Regression: fork(0) used to be a no-op xor, so the child was bit-for-bit
+// `Rng{parent.next_u64()}` — any consumer seeding a sibling Rng from a raw
+// draw silently shared the salt-0 child's stream.
+TEST(Rng, ForkSaltZeroIsNotARawDrawOfTheParent) {
+  const std::uint64_t raw = Rng{42}.next_u64();
+  Rng parent{42};
+  Rng child = parent.fork(0);
+  Rng raw_seeded{raw};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += child.next_u64() == raw_seeded.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+// Regression: adjacent salts used to yield child seeds exactly one
+// golden-ratio stride apart — a structured seed lattice. After the
+// splitmix64 finalizer the first draws must be pairwise distinct and
+// roughly half the bits must flip between neighbouring salts.
+TEST(Rng, AdjacentSaltsGiveDecorrelatedChildren) {
+  constexpr int kSalts = 64;
+  std::uint64_t first[kSalts];
+  for (int s = 0; s < kSalts; ++s) {
+    Rng parent{7};  // Fresh parent per salt: only the salt varies.
+    first[s] = parent.fork(static_cast<std::uint64_t>(s)).next_u64();
+  }
+  for (int a = 0; a < kSalts; ++a) {
+    for (int b = a + 1; b < kSalts; ++b) EXPECT_NE(first[a], first[b]);
+  }
+  for (int s = 0; s + 1 < kSalts; ++s) {
+    const int flipped = std::popcount(first[s] ^ first[s + 1]);
+    EXPECT_GT(flipped, 10) << "salts " << s << " vs " << s + 1;
+    EXPECT_LT(flipped, 54) << "salts " << s << " vs " << s + 1;
+  }
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a{99};
+  Rng b{99};
+  Rng ca = a.fork(17);
+  Rng cb = b.fork(17);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
 }
 
 TEST(Rng, ForkIndependence) {

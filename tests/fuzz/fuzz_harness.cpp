@@ -4,10 +4,12 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "common/check.h"
+#include "exec/runner_pool.h"
 #include "ctrl/bgp.h"
 #include "flowsim/fluid.h"
 #include "flowsim/packet.h"
@@ -355,6 +357,90 @@ Scenario shrink(Scenario failing, const FailPredicate& still_fails, int max_eval
     }
   }
   return failing;
+}
+
+std::uint64_t sweep_seed(std::uint64_t master, int index) {
+  constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+  return master ^ (kGolden * (static_cast<std::uint64_t>(index) + 1));
+}
+
+SweepResult run_sweep(const SweepOptions& options) {
+  struct RunRecord {
+    bool ok = true;
+    TopologyKind topology = TopologyKind::kTinyClos;
+    std::size_t flows = 0;
+    std::size_t faults = 0;
+    std::string detail;
+    Scenario scenario;  ///< Kept only for failures (shrunk by the caller).
+  };
+
+  const int runs = std::max(0, options.runs);
+  std::vector<RunRecord> records(static_cast<std::size_t>(runs));
+  // Progress fires from whichever worker finishes a run, so it is
+  // serialized here — callers get `done` strictly 1..runs and never need
+  // their own locking.
+  int done = 0;
+  std::mutex progress_mu;
+
+  exec::RunnerPool pool{options.jobs};
+  pool.for_each(static_cast<std::size_t>(runs), [&](std::size_t i) {
+    const std::uint64_t seed = sweep_seed(options.master_seed, static_cast<int>(i));
+    const Scenario s = random_scenario(seed);
+    const RunResult r = run_scenario(s, options.run);
+    RunRecord& rec = records[i];
+    rec.ok = r.ok;
+    rec.topology = s.topology;
+    rec.flows = s.flows.size();
+    rec.faults = s.faults.size();
+    if (!r.ok) {
+      rec.detail = r.failure;
+      rec.scenario = s;
+    }
+    if (options.progress) {
+      std::lock_guard<std::mutex> lock{progress_mu};
+      options.progress(++done, runs);
+    }
+  });
+
+  // Aggregate strictly by run index: same bytes at every job count.
+  SweepResult result;
+  result.runs = runs;
+  std::ostringstream csv;
+  csv << "run,seed,topology,flows,faults,ok\n";
+  for (int i = 0; i < runs; ++i) {
+    const RunRecord& rec = records[static_cast<std::size_t>(i)];
+    csv << i << ',' << sweep_seed(options.master_seed, i) << ','
+        << to_string(rec.topology) << ',' << rec.flows << ',' << rec.faults << ','
+        << (rec.ok ? 1 : 0) << '\n';
+    if (!rec.ok) {
+      result.failures.push_back(SweepFailure{i, sweep_seed(options.master_seed, i),
+                                             rec.scenario, rec.detail});
+    }
+  }
+  result.csv = csv.str();
+  return result;
+}
+
+ReplayOutcome replay_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return ReplayOutcome{ReplayOutcome::Status::kUnreadable, {}};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto s = Scenario::from_text(buf.str());
+  if (!s.has_value()) return ReplayOutcome{ReplayOutcome::Status::kParseError, {}};
+  const RunResult r = run_scenario(*s);
+  if (r.ok) return ReplayOutcome{ReplayOutcome::Status::kClean, {}};
+  return ReplayOutcome{ReplayOutcome::Status::kReproduced, r.failure};
+}
+
+int replay_exit_code(const ReplayOutcome& outcome, bool expect_clean) {
+  switch (outcome.status) {
+    case ReplayOutcome::Status::kReproduced: return expect_clean ? 1 : 0;
+    case ReplayOutcome::Status::kClean: return expect_clean ? 0 : 1;
+    case ReplayOutcome::Status::kUnreadable:
+    case ReplayOutcome::Status::kParseError: return 2;
+  }
+  return 2;
 }
 
 std::string write_repro(const Scenario& scenario, const std::string& dir) {

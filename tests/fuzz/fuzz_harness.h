@@ -53,4 +53,67 @@ Scenario shrink(Scenario failing, const FailPredicate& still_fails, int max_eval
 /// (creating `dir`), returning the path written.
 std::string write_repro(const Scenario& scenario, const std::string& dir);
 
+// ---- Parallel sweeps ------------------------------------------------------
+
+/// Seed for run `index` of a sweep: `master ^ golden*(index+1)`. A pure
+/// function of (master, index), so sharding across jobs can never change
+/// which scenarios a sweep contains.
+std::uint64_t sweep_seed(std::uint64_t master, int index);
+
+struct SweepOptions {
+  int runs = 500;
+  int jobs = 1;
+  std::uint64_t master_seed = 1;
+  RunOptions run;
+  /// Invoked after each completed run with `done` strictly 1..total.
+  /// Calls come from worker threads but are serialized by the sweep, so
+  /// the callback needs no locking of its own. Progress reporting only —
+  /// it has no effect on the deterministic results.
+  std::function<void(int done, int total)> progress;
+};
+
+struct SweepFailure {
+  int index = 0;          ///< Run index within the sweep.
+  std::uint64_t seed = 0; ///< sweep_seed(master, index).
+  Scenario scenario;
+  std::string detail;     ///< Phase-tagged failure text from run_scenario().
+};
+
+struct SweepResult {
+  int runs = 0;
+  std::vector<SweepFailure> failures;  ///< Ascending run index.
+  /// Aggregated per-run rows, ascending run index:
+  /// `run,seed,topology,flows,faults,ok`. One header line, '\n' terminated.
+  std::string csv;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run the sweep on an exec::RunnerPool. Every field of the result is
+/// bit-identical for fixed (runs, master_seed, run options) regardless of
+/// `jobs` — ordering is by run index, never by completion order.
+SweepResult run_sweep(const SweepOptions& options);
+
+// ---- Replay ---------------------------------------------------------------
+
+struct ReplayOutcome {
+  enum class Status {
+    kReproduced,  ///< The scenario still fails the oracle battery.
+    kClean,       ///< The scenario no longer reproduces any violation.
+    kUnreadable,  ///< File missing/unreadable.
+    kParseError,  ///< Not a valid .scenario file.
+  };
+  Status status = Status::kUnreadable;
+  std::string detail;  ///< Violation text when reproduced.
+};
+
+/// Load `path` and run the oracle battery on it.
+ReplayOutcome replay_scenario_file(const std::string& path);
+
+/// Driver exit code for a replay. A repro file exists *because* of a
+/// violation, so by default reproducing it is success (0) and a clean run
+/// exits 1 — a silently-passing stale repro must fail CI, not reassure it.
+/// `expect_clean` flips the convention for fixed corpus entries. File and
+/// parse errors exit 2 either way.
+int replay_exit_code(const ReplayOutcome& outcome, bool expect_clean);
+
 }  // namespace hpn::fuzz

@@ -1,21 +1,26 @@
 // hpnsim_fuzz: standalone scenario-fuzzing driver.
 //
 //   hpnsim_fuzz --runs 500 --jobs 4 --seed 1 --out tests/fuzz/regressions
-//   hpnsim_fuzz --replay path/to/repro.scenario
+//   hpnsim_fuzz --replay path/to/repro.scenario [--expect-clean]
+//   hpnsim_fuzz --runs 120 --jobs 8 --csv sweep.csv
 //
 // Scenario i draws from seed `master ^ golden*(i+1)`, so results are a
-// function of (--seed, --runs) alone — sharding across --jobs threads never
-// changes which scenarios run or what they contain. On failure the driver
-// greedily shrinks the scenario and writes a `.scenario` repro file that
-// replays with --replay.
-#include <atomic>
+// function of (--seed, --runs) alone. Runs execute on an exec::RunnerPool
+// (--jobs workers), and everything the driver emits — stdout ordering,
+// repro file bytes, the --csv aggregate — is bit-identical regardless of
+// --jobs: results are aggregated by run index after the pool settles, and
+// only the progress ticker (stderr) follows completion order. On failure
+// the driver greedily shrinks each scenario and writes a `.scenario` repro
+// file that replays with --replay.
+//
+// --replay exits 0 when the repro still reproduces a violation and 1 when
+// it runs clean (a stale repro must fail loudly, not silently pass);
+// --expect-clean flips that for corpus entries whose bug has been fixed.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <mutex>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,14 +30,14 @@
 
 namespace {
 
-constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
-
 struct Args {
   int runs = 500;
   int jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   std::uint64_t seed = 1;
   std::string out = "fuzz-repros";
+  std::string csv;
   std::string replay;
+  bool expect_clean = false;
   bool ok = true;
 };
 
@@ -56,12 +61,16 @@ Args parse_args(int argc, char** argv) {
       a.seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--out") {
       a.out = value();
+    } else if (flag == "--csv") {
+      a.csv = value();
     } else if (flag == "--replay") {
       a.replay = value();
+    } else if (flag == "--expect-clean") {
+      a.expect_clean = true;
     } else {
       std::cerr << "unknown flag " << flag << "\n"
                 << "usage: hpnsim_fuzz [--runs N] [--jobs N] [--seed S] "
-                   "[--out DIR] [--replay FILE]\n";
+                   "[--out DIR] [--csv FILE] [--replay FILE [--expect-clean]]\n";
       a.ok = false;
     }
   }
@@ -69,77 +78,68 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-int replay_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) {
-    std::cerr << "cannot read " << path << "\n";
-    return 2;
+int replay_file(const std::string& path, bool expect_clean) {
+  const hpn::fuzz::ReplayOutcome outcome = hpn::fuzz::replay_scenario_file(path);
+  switch (outcome.status) {
+    case hpn::fuzz::ReplayOutcome::Status::kUnreadable:
+      std::cerr << "cannot read " << path << "\n";
+      break;
+    case hpn::fuzz::ReplayOutcome::Status::kParseError:
+      std::cerr << path << " is not a valid .scenario file\n";
+      break;
+    case hpn::fuzz::ReplayOutcome::Status::kReproduced:
+      std::cout << "replay reproduces a violation: " << path << "\n"
+                << outcome.detail << "\n";
+      break;
+    case hpn::fuzz::ReplayOutcome::Status::kClean:
+      std::cout << "replay clean: " << path
+                << " no longer reproduces a violation\n";
+      break;
   }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const auto s = hpn::fuzz::Scenario::from_text(buf.str());
-  if (!s.has_value()) {
-    std::cerr << path << " is not a valid .scenario file\n";
-    return 2;
-  }
-  const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(*s);
-  if (r.ok) {
-    std::cout << "replay clean: " << path << "\n";
-    return 0;
-  }
-  std::cout << "replay FAILED: " << path << "\n" << r.failure << "\n";
-  return 1;
+  return hpn::fuzz::replay_exit_code(outcome, expect_clean);
 }
-
-struct Failure {
-  hpn::fuzz::Scenario scenario;
-  std::string detail;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (!args.ok) return 2;
-  if (!args.replay.empty()) return replay_file(args.replay);
+  if (!args.replay.empty()) return replay_file(args.replay, args.expect_clean);
 
-  std::mutex mu;
-  std::vector<Failure> failures;
-  std::atomic<int> done{0};
-
-  const auto shard = [&](int shard_index) {
-    for (int i = shard_index; i < args.runs; i += args.jobs) {
-      const std::uint64_t scenario_seed =
-          args.seed ^ (kGolden * (static_cast<std::uint64_t>(i) + 1));
-      const hpn::fuzz::Scenario s = hpn::fuzz::random_scenario(scenario_seed);
-      const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(s);
-      const int finished = done.fetch_add(1) + 1;
-      if (!r.ok) {
-        const std::lock_guard<std::mutex> lock(mu);
-        failures.push_back({s, r.failure});
-        std::cerr << "run " << i << " (seed " << scenario_seed << ") FAILED:\n"
-                  << r.failure << "\n";
-      }
-      if (finished % 100 == 0) {
-        const std::lock_guard<std::mutex> lock(mu);
-        std::cout << finished << "/" << args.runs << " scenarios done\n";
-      }
+  hpn::fuzz::SweepOptions opts;
+  opts.runs = args.runs;
+  opts.jobs = args.jobs;
+  opts.master_seed = args.seed;
+  // Progress goes to stderr: it follows completion order, so it is the one
+  // stream that is allowed to differ between job counts.
+  opts.progress = [](int done, int total) {
+    if (done % 100 == 0 || done == total) {
+      std::cerr << done << "/" << total << " scenarios done\n";
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(args.jobs));
-  for (int j = 0; j < args.jobs; ++j) pool.emplace_back(shard, j);
-  for (std::thread& t : pool) t.join();
+  const hpn::fuzz::SweepResult sweep = hpn::fuzz::run_sweep(opts);
 
-  if (failures.empty()) {
-    std::cout << "all " << args.runs << " scenarios clean (seed " << args.seed
-              << ", " << args.jobs << " jobs)\n";
+  if (!args.csv.empty()) {
+    std::ofstream os(args.csv);
+    if (!os.good()) {
+      std::cerr << "cannot write " << args.csv << "\n";
+      return 2;
+    }
+    os << sweep.csv;
+    std::cout << "[csv] " << args.csv << "\n";
+  }
+
+  if (sweep.ok()) {
+    // The job count stays off stdout: stdout is bit-identical across --jobs.
+    std::cout << "all " << args.runs << " scenarios clean (seed " << args.seed << ")\n";
     return 0;
   }
 
-  std::cout << failures.size() << " failing scenario(s); shrinking...\n";
-  for (Failure& f : failures) {
+  std::cout << sweep.failures.size() << " failing scenario(s); shrinking...\n";
+  for (const hpn::fuzz::SweepFailure& f : sweep.failures) {
+    std::cout << "run " << f.index << " (seed " << f.seed << ") FAILED:\n"
+              << f.detail << "\n";
     const hpn::fuzz::Scenario shrunk = hpn::fuzz::shrink(
         f.scenario,
         [](const hpn::fuzz::Scenario& c) { return !hpn::fuzz::run_scenario(c).ok; });
