@@ -2,6 +2,10 @@
 //
 //   hpnsim build   [--arch hpn|dcn|fattree] [--segments N] [--hosts N]
 //                  [--pods N] [--no-dual-tor] [--no-dual-plane] [--rail-only]
+//   hpnsim build   --fabric <name>          any registered fabric strategy
+//                  (hpn|dcn+|fat-tree|rail-only|railx-lite|ubmesh-lite),
+//                  built through the strategy registry with its own hash
+//                  policy; --segments/--hosts/--pods scale it
 //   hpnsim trace   <src_rank> <dst_rank> [--sport P] (same build flags)
 //   hpnsim probe   <src_rank> <dst_rank>   INT probe + blueprint check
 //   hpnsim scale                           Table 2 / Table 4 arithmetic
@@ -28,6 +32,7 @@
 
 #include "ctrl/fabric_controller.h"
 #include "exec/runner_pool.h"
+#include "fabric/fabric.h"
 #include "metrics/table.h"
 #include "routing/int_probe.h"
 #include "routing/router.h"
@@ -43,6 +48,7 @@ using namespace hpn;
 struct Options {
   std::string command;
   std::string arch = "hpn";
+  std::string fabric;  // Non-empty: build through the strategy registry.
   int segments = 2;
   int hosts = 4;
   int pods = 1;
@@ -59,6 +65,8 @@ struct Options {
 void usage() {
   std::cout << "usage: hpnsim <build|trace|probe|scale|failover|sweep> [options]\n"
             << "  --arch hpn|dcn|fattree   architecture (default hpn)\n"
+            << "  --fabric <name>          fabric strategy from the registry:\n"
+            << "                           " << fabric::fabric_names() << "\n"
             << "  --segments N --hosts N --pods N\n"
             << "  --no-dual-tor --no-dual-plane --rail-only\n"
             << "  --trace <path>           export the simulation event trace\n"
@@ -84,6 +92,8 @@ Options parse(int argc, char** argv) {
     };
     if (a == "--arch" && i + 1 < argc) {
       o.arch = argv[++i];
+    } else if (a == "--fabric" && i + 1 < argc) {
+      o.fabric = argv[++i];
     } else if (a == "--segments") {
       next_int(o.segments);
     } else if (a == "--hosts") {
@@ -115,6 +125,14 @@ Options parse(int argc, char** argv) {
 }
 
 topo::Cluster build_cluster(const Options& o) {
+  if (!o.fabric.empty()) {
+    // Strategy path: any registered fabric, scaled by the shared knobs.
+    fabric::FabricScale scale;
+    scale.pods = o.pods;
+    scale.segments_per_pod = o.segments;
+    scale.hosts_per_segment = o.hosts;
+    return fabric::fabric_or_throw(o.fabric).build(scale);
+  }
   if (o.arch == "hpn") {
     auto cfg = topo::HpnConfig::tiny();
     cfg.segments_per_pod = o.segments;
@@ -143,6 +161,13 @@ topo::Cluster build_cluster(const Options& o) {
   throw ConfigError{"unknown arch: " + o.arch};
 }
 
+/// The ECMP hash policy the chosen architecture is operated with: the
+/// strategy's own policy under --fabric, the stack default otherwise.
+routing::HashConfig hash_policy(const Options& o) {
+  if (!o.fabric.empty()) return fabric::fabric_or_throw(o.fabric).hash_policy();
+  return {};
+}
+
 int cmd_build(const Options& o) {
   const topo::Cluster c = build_cluster(o);
   int active = 0;
@@ -164,7 +189,7 @@ int cmd_build(const Options& o) {
 
 int cmd_trace(const Options& o, bool probe) {
   const topo::Cluster c = build_cluster(o);
-  routing::Router r{c.topo};
+  routing::Router r{c.topo, hash_policy(o)};
   if (o.src >= c.gpu_count() || o.dst >= c.gpu_count()) {
     std::cerr << "rank out of range (cluster has " << c.gpu_count() << " GPUs)\n";
     return 1;

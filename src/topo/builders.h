@@ -9,6 +9,12 @@
 //  * DCN+         — Appendix C: the previous-generation 3-tier Clos with
 //                   dual-ToR, 128-GPU segments, 4 segments per Pod.
 //  * Fat tree     — classic k-ary (Table 1 comparator).
+//  * Rail-only    — Wang et al.: per-rail switches only, no Agg/Core tier;
+//                   cross-rail traffic rides NVSwitch inside the host.
+//  * RailX-lite   — reconfigurable rail wiring: per-(group, rail) ToRs plus
+//                   an optical-circuit tier with a rotor epoch schedule.
+//  * UB-Mesh-lite — 2D full-mesh (HyperX-style) switch grid, single-port
+//                   hosts attached to their local switch.
 //
 // All builders take scale knobs so tests can construct tiny instances and
 // benches paper-scale ones; wiring *shape* is identical at every scale.
@@ -80,5 +86,53 @@ struct FatTreeConfig {
 };
 
 Cluster build_fat_tree(const FatTreeConfig& cfg);
+
+/// Rail-only (Wang et al., "Rail-only: A Low-Cost ... Network for LLMs"):
+/// each rail gets its own switch pair spanning every host; there is no Agg
+/// or Core tier at all. Cross-rail pairs are unreachable over the backend
+/// network by design — collectives must keep traffic rail-local (DP rings)
+/// or forward through NVSwitch.
+struct RailOnlyConfig {
+  int hosts = 8;
+  int gpus_per_host = 8;           ///< = rail count.
+  bool dual_tor = true;            ///< Keep HPN's dual-ToR access for parity.
+  LinkSpeeds speeds;
+
+  static RailOnlyConfig tiny();
+};
+
+Cluster build_rail_only(const RailOnlyConfig& cfg);
+
+/// RailX-lite: hosts are split into `groups`; each (group, rail) pair gets
+/// one single-plane ToR. Same-rail ToRs across groups are joined by an
+/// optical-circuit tier: one circuit link per unordered group pair and
+/// rail, with a rotor schedule of `groups - 1` epochs (epoch e keeps the
+/// difference-class min(e+1, groups-(e+1)) links up). The builder leaves
+/// epoch 0 (the ring) up; `Cluster::circuits` holds the full schedule.
+struct RailXConfig {
+  int groups = 5;                  ///< >= 2; odd keeps every epoch connected.
+  int hosts_per_group = 2;
+  int gpus_per_host = 8;
+  LinkSpeeds speeds;
+
+  static RailXConfig tiny();
+};
+
+Cluster build_railx(const RailXConfig& cfg);
+
+/// UB-Mesh-lite: a rows x cols grid of switches, full-mesh wired along each
+/// row and each column (2D HyperX). Hosts attach single-port to their local
+/// switch; every host pair is reachable in <= 2 switch-switch hops.
+struct UbMeshConfig {
+  int rows = 2;
+  int cols = 2;
+  int hosts_per_switch = 2;
+  int gpus_per_host = 8;
+  LinkSpeeds speeds;
+
+  static UbMeshConfig tiny();
+};
+
+Cluster build_ubmesh(const UbMeshConfig& cfg);
 
 }  // namespace hpn::topo

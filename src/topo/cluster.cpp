@@ -9,6 +9,9 @@ std::string_view to_string(Arch arch) {
     case Arch::kHpnRailOnly: return "HPN-rail-only";
     case Arch::kDcnPlus: return "DCN+";
     case Arch::kFatTree: return "fat-tree";
+    case Arch::kRailOnly: return "rail-only";
+    case Arch::kRailXLite: return "railx-lite";
+    case Arch::kUbMeshLite: return "ubmesh-lite";
   }
   return "?";
 }

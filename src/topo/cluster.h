@@ -18,6 +18,9 @@ enum class Arch : std::uint8_t {
   kHpnRailOnly,   ///< Rail-only tier2 variant (Table 4).
   kDcnPlus,       ///< 3-tier Clos previous generation (Appendix C).
   kFatTree,       ///< Classic k-ary fat tree (single-NIC hosts).
+  kRailOnly,      ///< Rail-only (Wang et al.): per-rail ToRs, no Agg/Core.
+  kRailXLite,     ///< RailX-lite: rail ToRs + reconfigurable circuit tier.
+  kUbMeshLite,    ///< UB-Mesh-lite: 2D full-mesh (HyperX-style) ToR grid.
 };
 
 std::string_view to_string(Arch arch);
@@ -45,6 +48,16 @@ struct Host {
   NodeId frontend_nic = NodeId::invalid();  ///< NIC0, if frontend built.
 };
 
+/// Optical-circuit schedule for reconfigurable fabrics (RailX-lite). All
+/// circuit links exist in the topology permanently; epoch `e` keeps exactly
+/// `epoch_links[e]` up and the rest down. Empty for static fabrics.
+struct CircuitSchedule {
+  /// epoch -> forward LinkIds active during that epoch.
+  std::vector<std::vector<LinkId>> epoch_links;
+  [[nodiscard]] int epochs() const { return static_cast<int>(epoch_links.size()); }
+  [[nodiscard]] bool empty() const { return epoch_links.empty(); }
+};
+
 /// A GPU's coordinates within the cluster.
 struct GpuRef {
   std::int32_t host = -1;
@@ -63,6 +76,8 @@ class Cluster {
   /// Frontend network switches (§8), populated by attach_frontend().
   std::vector<NodeId> frontend_tors;
   std::vector<NodeId> frontend_aggs;
+  /// Reconfigurable-circuit schedule (RailX-lite); empty for static fabrics.
+  CircuitSchedule circuits;
   int gpus_per_host = 8;
   int pods = 1;
   int segments_per_pod = 1;

@@ -45,19 +45,16 @@ void check_nic_wiring(const Cluster& c, std::vector<std::string>& out) {
                         ": NIC wired outside its segment (tor " + tor.name + ")");
         }
         // Dual-plane blueprint: port index must equal the ToR's plane.
-        const bool planar =
-            c.arch == Arch::kHpn || c.arch == Arch::kHpnRailOnly || c.arch == Arch::kDcnPlus ||
-            c.arch == Arch::kHpnSinglePlane;
-        if (planar && att.ports == 2 && tor.loc.plane != p) {
+        // Data-driven: applies wherever the access tier is dual-ported and
+        // ToRs carry plane labels, whatever the Arch enum says.
+        if (att.ports == 2 && tor.loc.plane >= 0 && tor.loc.plane != p) {
           out.push_back("host " + std::to_string(h.index) + " rail " + std::to_string(rail) +
                         ": port " + std::to_string(p) + " wired to plane " +
                         std::to_string(tor.loc.plane) + " ToR " + tor.name);
         }
         // Rail-optimized blueprint: the ToR set must match the NIC's rail.
-        const bool rail_opt = (c.arch == Arch::kHpn || c.arch == Arch::kHpnRailOnly ||
-                               c.arch == Arch::kHpnSinglePlane) &&
-                              tor.loc.rail >= 0;
-        if (rail_opt && tor.loc.rail != static_cast<int>(rail)) {
+        // Data-driven: a rail label on the ToR *is* the claim being checked.
+        if (tor.loc.rail >= 0 && tor.loc.rail != static_cast<int>(rail)) {
           out.push_back("host " + std::to_string(h.index) + " rail " + std::to_string(rail) +
                         ": NIC wired to rail-" + std::to_string(tor.loc.rail) + " ToR " +
                         tor.name + " (cross-rail miswire)");
@@ -67,8 +64,11 @@ void check_nic_wiring(const Cluster& c, std::vector<std::string>& out) {
   }
 }
 
-void check_dual_plane_isolation(const Cluster& c, std::vector<std::string>& out) {
-  if (c.arch != Arch::kHpn && c.arch != Arch::kHpnRailOnly) return;
+void check_dual_plane_isolation(const Cluster& c, const TierProfile& tiers,
+                                std::vector<std::string>& out) {
+  // Only plane-partitioned aggregation tiers make this claim; fabrics with
+  // no Agg tier (Rail-only, meshes) or unplaned Aggs (DCN+, fat tree) skip.
+  if (!tiers.has_agg || !tiers.plane_partitioned_aggs) return;
   // An Agg in plane p must connect only ToRs in plane p and cores in plane p.
   for (const NodeId agg : c.aggs) {
     const Node& an = c.topo.node(agg);
@@ -105,11 +105,36 @@ void check_chip_budget(const Cluster& c, Bandwidth budget, std::vector<std::stri
 
 }  // namespace
 
+TierProfile discover_tiers(const Cluster& cluster) {
+  TierProfile t;
+  t.has_agg = !cluster.aggs.empty();
+  t.has_core = !cluster.cores.empty();
+  t.plane_partitioned_aggs = t.has_agg;
+  for (const NodeId agg : cluster.aggs) {
+    if (cluster.topo.node(agg).loc.plane < 0) t.plane_partitioned_aggs = false;
+  }
+  for (const NodeId tor : cluster.tors) {
+    const Location& loc = cluster.topo.node(tor).loc;
+    if (loc.plane >= 0) t.planar_access = true;
+    if (loc.rail >= 0) t.rail_tors = true;
+    if (!t.tor_mesh) {
+      for (const LinkId l : cluster.topo.out_links(tor)) {
+        if (cluster.topo.node(cluster.topo.link(l).dst).kind == NodeKind::kTor) {
+          t.tor_mesh = true;
+          break;
+        }
+      }
+    }
+  }
+  return t;
+}
+
 std::vector<std::string> validate(const Cluster& cluster, const ValidationOptions& opts) {
   std::vector<std::string> out;
+  const TierProfile tiers = discover_tiers(cluster);
   check_dual_links(cluster, out);
   check_nic_wiring(cluster, out);
-  check_dual_plane_isolation(cluster, out);
+  check_dual_plane_isolation(cluster, tiers, out);
   if (opts.check_chip_budget) check_chip_budget(cluster, opts.chip_capacity, out);
   return out;
 }

@@ -385,7 +385,8 @@ SweepResult run_sweep(const SweepOptions& options) {
   exec::RunnerPool pool{options.jobs};
   pool.for_each(static_cast<std::size_t>(runs), [&](std::size_t i) {
     const std::uint64_t seed = sweep_seed(options.master_seed, static_cast<int>(i));
-    const Scenario s = random_scenario(seed);
+    Scenario s = random_scenario(seed);
+    if (options.only_topology) s.topology = *options.only_topology;
     const RunResult r = run_scenario(s, options.run);
     RunRecord& rec = records[i];
     rec.ok = r.ok;

@@ -65,6 +65,10 @@ struct SweepOptions {
   int jobs = 1;
   std::uint64_t master_seed = 1;
   RunOptions run;
+  /// Force every drawn scenario onto one topology kind (per-fabric sweeps).
+  /// Workload/fault knobs stay as drawn; materialize() clamps them per
+  /// kind, so any knob combination is valid for any kind.
+  std::optional<TopologyKind> only_topology;
   /// Invoked after each completed run with `done` strictly 1..total.
   /// Calls come from worker threads but are serialized by the sweep, so
   /// the callback needs no locking of its own. Progress reporting only —

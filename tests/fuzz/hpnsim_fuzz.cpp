@@ -37,6 +37,7 @@ struct Args {
   std::string out = "fuzz-repros";
   std::string csv;
   std::string replay;
+  std::string topology;  ///< Force every scenario onto one topology kind.
   bool expect_clean = false;
   bool ok = true;
 };
@@ -65,12 +66,15 @@ Args parse_args(int argc, char** argv) {
       a.csv = value();
     } else if (flag == "--replay") {
       a.replay = value();
+    } else if (flag == "--topology") {
+      a.topology = value();
     } else if (flag == "--expect-clean") {
       a.expect_clean = true;
     } else {
       std::cerr << "unknown flag " << flag << "\n"
                 << "usage: hpnsim_fuzz [--runs N] [--jobs N] [--seed S] "
-                   "[--out DIR] [--csv FILE] [--replay FILE [--expect-clean]]\n";
+                   "[--topology KIND] [--out DIR] [--csv FILE] "
+                   "[--replay FILE [--expect-clean]]\n";
       a.ok = false;
     }
   }
@@ -110,6 +114,14 @@ int main(int argc, char** argv) {
   opts.runs = args.runs;
   opts.jobs = args.jobs;
   opts.master_seed = args.seed;
+  if (!args.topology.empty()) {
+    const auto kind = hpn::fuzz::topology_kind_from(args.topology);
+    if (!kind) {
+      std::cerr << "unknown topology '" << args.topology << "'\n";
+      return 2;
+    }
+    opts.only_topology = *kind;
+  }
   // Progress goes to stderr: it follows completion order, so it is the one
   // stream that is allowed to differ between job counts.
   opts.progress = [](int done, int total) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "fabric/fabric.h"
 #include "topo/builders.h"
 
 namespace hpn::fuzz {
@@ -176,7 +177,10 @@ int topology_rank(TopologyKind kind) {
     case TopologyKind::kFatTree: return 1;
     case TopologyKind::kDcnPlus: return 2;
     case TopologyKind::kHpnSegment: return 3;
-    case TopologyKind::kRandom: return 4;
+    case TopologyKind::kRailOnly: return 4;
+    case TopologyKind::kRailX: return 5;
+    case TopologyKind::kUbMesh: return 6;
+    case TopologyKind::kRandom: return 7;
   }
   return 0;
 }
@@ -189,6 +193,9 @@ std::string_view to_string(TopologyKind kind) {
     case TopologyKind::kHpnSegment: return "hpn_segment";
     case TopologyKind::kDcnPlus: return "dcn_plus";
     case TopologyKind::kFatTree: return "fat_tree";
+    case TopologyKind::kRailOnly: return "rail_only";
+    case TopologyKind::kRailX: return "railx_lite";
+    case TopologyKind::kUbMesh: return "ubmesh_lite";
     case TopologyKind::kRandom: return "random";
   }
   return "unknown";
@@ -197,7 +204,8 @@ std::string_view to_string(TopologyKind kind) {
 std::optional<TopologyKind> topology_kind_from(std::string_view name) {
   for (const TopologyKind k :
        {TopologyKind::kTinyClos, TopologyKind::kHpnSegment, TopologyKind::kDcnPlus,
-        TopologyKind::kFatTree, TopologyKind::kRandom}) {
+        TopologyKind::kFatTree, TopologyKind::kRailOnly, TopologyKind::kRailX,
+        TopologyKind::kUbMesh, TopologyKind::kRandom}) {
     if (to_string(k) == name) return k;
   }
   return std::nullopt;
@@ -309,13 +317,25 @@ Scenario random_scenario(std::uint64_t seed) {
     s.topology = TopologyKind::kHpnSegment;
     s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
     s.wiring = 0;
-  } else if (pick < 0.88) {
+  } else if (pick < 0.82) {
     s.topology = TopologyKind::kDcnPlus;
     s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 2));
     s.wiring = 0;
-  } else {
+  } else if (pick < 0.88) {
     s.topology = TopologyKind::kFatTree;
     s.size_knob = 4;
+    s.wiring = 0;
+  } else if (pick < 0.92) {
+    s.topology = TopologyKind::kRailOnly;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    s.wiring = 0;
+  } else if (pick < 0.96) {
+    s.topology = TopologyKind::kRailX;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 2));
+    s.wiring = static_cast<std::uint32_t>(rng.uniform_int(2, 5));
+  } else {
+    s.topology = TopologyKind::kUbMesh;
+    s.size_knob = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
     s.wiring = 0;
   }
 
@@ -393,11 +413,46 @@ Materialized materialize(const Scenario& scenario) {
       m.cluster = topo::build_fat_tree(cfg);
       break;
     }
+    case TopologyKind::kRailOnly: {
+      // Through the strategy registry, so fuzzing also exercises the
+      // Fabric build path. Rail-only: one "segment" of size_knob hosts.
+      fabric::FabricScale scale;
+      scale.segments_per_pod = 1;
+      scale.hosts_per_segment =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 4));
+      scale.gpus_per_host = 2;
+      m.cluster = fabric::fabric_or_throw("rail-only").build(scale);
+      break;
+    }
+    case TopologyKind::kRailX: {
+      fabric::FabricScale scale;
+      scale.segments_per_pod =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.wiring, 2, 5));
+      scale.hosts_per_segment =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 2));
+      scale.gpus_per_host = 2;
+      m.cluster = fabric::fabric_or_throw("railx-lite").build(scale);
+      break;
+    }
+    case TopologyKind::kUbMesh: {
+      fabric::FabricScale scale;
+      scale.segments_per_pod =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 3));
+      scale.hosts_per_segment = 1;
+      scale.gpus_per_host = 2;
+      m.cluster = fabric::fabric_or_throw("ubmesh-lite").build(scale);
+      break;
+    }
     case TopologyKind::kRandom:
       m.cluster = build_random_net(scenario.seed, scenario.size_knob, scenario.wiring);
       break;
   }
-  m.lossless_safe = scenario.topology != TopologyKind::kRandom;
+  // PFC-lossless is only safe where up-down routing precludes cyclic buffer
+  // dependencies. The RailX circuit ring and the UB-Mesh row/column meshes
+  // route switch-to-switch laterally, so they run lossy like kRandom.
+  m.lossless_safe = scenario.topology != TopologyKind::kRandom &&
+                    scenario.topology != TopologyKind::kRailX &&
+                    scenario.topology != TopologyKind::kUbMesh;
 
   // Eligible endpoints: every NIC for built clusters, every node for the
   // random multigraph (whose nodes are all generic switches).

@@ -29,6 +29,9 @@ enum class TopologyKind : std::uint8_t {
   kHpnSegment,  ///< build_hpn: dual-ToR dual-plane segment with tier2.
   kDcnPlus,     ///< build_dcn_plus: previous-gen Clos.
   kFatTree,     ///< build_fat_tree: k-ary fat tree.
+  kRailOnly,    ///< fabric "rail-only": per-rail ToRs, no Agg tier.
+  kRailX,       ///< fabric "railx-lite": grouped rails + circuit ring.
+  kUbMesh,      ///< fabric "ubmesh-lite": 2D full-mesh switch grid.
   kRandom,      ///< random_scenarios.h-style connected multigraph.
 };
 
@@ -63,9 +66,11 @@ struct Scenario {
   std::uint64_t seed = 0;  ///< Master seed (labels the repro; not re-drawn).
   TopologyKind topology = TopologyKind::kTinyClos;
   /// Scale knob: node count (kRandom), hosts (kTinyClos / per-segment for
-  /// kHpnSegment & kDcnPlus), or ignored (kFatTree is fixed at k=4).
+  /// kHpnSegment & kDcnPlus / total for kRailOnly), grid columns (kUbMesh),
+  /// hosts per group (kRailX), or ignored (kFatTree is fixed at k=4).
   std::uint32_t size_knob = 2;
-  /// Wiring knob: extra duplex links (kRandom) or Agg count (kTinyClos).
+  /// Wiring knob: extra duplex links (kRandom), Agg count (kTinyClos), or
+  /// group count (kRailX).
   std::uint32_t wiring = 1;
   std::vector<ScenarioFlow> flows;
   std::vector<ScenarioFault> faults;

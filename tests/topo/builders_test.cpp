@@ -246,6 +246,74 @@ TEST(FatTree, OddKRejected) {
   EXPECT_THROW(build_fat_tree(FatTreeConfig{.k = 5}), CheckError);
 }
 
+TEST(RailOnlyBuilder, TinyShape) {
+  const Cluster c = build_rail_only(RailOnlyConfig::tiny());
+  EXPECT_EQ(c.arch, Arch::kRailOnly);
+  EXPECT_EQ(c.hosts.size(), 4u);
+  EXPECT_EQ(c.gpu_count(), 32);
+  EXPECT_EQ(c.tors.size(), 16u);  // 8 rails x 2 planes, no Agg/Core at all
+  EXPECT_TRUE(c.aggs.empty());
+  EXPECT_TRUE(c.cores.empty());
+  // Each NIC dual-homes onto its own rail's ToR pair.
+  for (const Host& h : c.hosts) {
+    for (std::size_t rail = 0; rail < h.nics.size(); ++rail) {
+      ASSERT_EQ(h.nics[rail].ports, 2);
+      for (int p = 0; p < 2; ++p) {
+        const Node& tor = c.topo.node(h.nics[rail].tor[static_cast<std::size_t>(p)]);
+        EXPECT_EQ(tor.loc.rail, static_cast<int>(rail));
+        EXPECT_EQ(tor.loc.plane, p);
+      }
+    }
+  }
+}
+
+TEST(RailXBuilder, TinyShape) {
+  const auto cfg = RailXConfig::tiny();
+  const Cluster c = build_railx(cfg);
+  EXPECT_EQ(c.arch, Arch::kRailXLite);
+  EXPECT_EQ(c.hosts.size(), 10u);  // 5 groups x 2 hosts
+  EXPECT_EQ(c.tors.size(), 40u);   // 5 groups x 8 rails
+  EXPECT_TRUE(c.aggs.empty());
+  EXPECT_EQ(c.segments_per_pod, cfg.groups);
+  // Rotor schedule: G-1 epochs over C(G,2) circuits per rail.
+  EXPECT_EQ(c.circuits.epochs(), cfg.groups - 1);
+  // Every circuit link connects same-rail ToRs of different groups.
+  for (const auto& epoch : c.circuits.epoch_links) {
+    for (const LinkId l : epoch) {
+      const Node& a = c.topo.node(c.topo.link(l).src);
+      const Node& b = c.topo.node(c.topo.link(l).dst);
+      EXPECT_EQ(a.kind, NodeKind::kTor);
+      EXPECT_EQ(b.kind, NodeKind::kTor);
+      EXPECT_EQ(a.loc.rail, b.loc.rail);
+      EXPECT_NE(a.loc.segment, b.loc.segment);
+    }
+  }
+}
+
+TEST(UbMeshBuilder, TinyShape) {
+  const Cluster c = build_ubmesh(UbMeshConfig::tiny());
+  EXPECT_EQ(c.arch, Arch::kUbMeshLite);
+  EXPECT_EQ(c.tors.size(), 4u);   // 2x2 grid
+  EXPECT_EQ(c.hosts.size(), 8u);  // 2 hosts per switch
+  EXPECT_TRUE(c.aggs.empty());
+  EXPECT_TRUE(c.circuits.empty());
+  // 2x2 HyperX: each switch meshes with 1 row peer + 1 column peer.
+  for (const NodeId tor : c.tors) {
+    int fabric_links = 0;
+    for (const LinkId l : c.topo.out_links(tor)) {
+      if (c.topo.link(l).kind == LinkKind::kFabric) ++fabric_links;
+    }
+    EXPECT_EQ(fabric_links, 2);
+  }
+  // Hosts attach single-port to the switch of their segment.
+  for (const Host& h : c.hosts) {
+    for (const NicAttachment& nic : h.nics) {
+      ASSERT_EQ(nic.ports, 1);
+      EXPECT_EQ(c.topo.node(nic.tor[0]).loc.segment, h.segment);
+    }
+  }
+}
+
 TEST(Builders, InvalidConfigRejected) {
   HpnConfig bad = HpnConfig::tiny();
   bad.hosts_per_segment = 0;
@@ -254,6 +322,19 @@ TEST(Builders, InvalidConfigRejected) {
   HpnConfig indivisible = HpnConfig::tiny();
   indivisible.tor_uplinks = 3;  // not divisible by 4 aggs
   EXPECT_THROW(build_hpn(indivisible), CheckError);
+
+  RailOnlyConfig no_hosts;
+  no_hosts.hosts = 0;
+  EXPECT_THROW(build_rail_only(no_hosts), CheckError);
+
+  RailXConfig one_group;
+  one_group.groups = 1;
+  EXPECT_THROW(build_railx(one_group), CheckError);
+
+  UbMeshConfig lone_switch;
+  lone_switch.rows = 1;
+  lone_switch.cols = 1;
+  EXPECT_THROW(build_ubmesh(lone_switch), CheckError);
 }
 
 }  // namespace
