@@ -21,10 +21,16 @@ inline constexpr const char* kResultsDir = "results";
 ///   --trace <path>   export the simulation trace (.json => Chrome format)
 ///   --jobs N         run independent sweep cases on N workers (default 1;
 ///                    table rows and CSVs are identical at any job count)
+///   --shards N       domain-decompose each simulated run into N PDES
+///                    shards (benches that support it, e.g. bench_pdes,
+///                    run {1, N} instead of their default ladder; results
+///                    are byte-identical at any shard count — the flag
+///                    trades wall time, never output)
 struct Args {
   bool smoke = false;
   std::string trace_path;
   int jobs = 1;
+  int shards = 0;  ///< 0 = the bench's default shard ladder.
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -36,6 +42,9 @@ struct Args {
       } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
         a.jobs = std::atoi(argv[++i]);
         if (a.jobs < 1) a.jobs = 1;
+      } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+        a.shards = std::atoi(argv[++i]);
+        if (a.shards < 2) a.shards = 0;
       }
     }
     return a;

@@ -1,0 +1,152 @@
+// Shard-parallel store-and-forward flow transport — the PDES engine layer.
+//
+// ShardedFlowNet moves flows as fixed-size chunks hop by hop over routed
+// paths, with every link owned exclusively by one shard of a
+// topo::Partition (the shard of the link's source node). A chunk reaching
+// the end of link i is handed to link i+1 — a local event when both links
+// share a shard, a timestamped cross-shard message (sim/pdes.h channel
+// post) when link i is a boundary link. The conservative contract holds
+// structurally: a boundary handoff arrives tx + latency after the sender's
+// clock, and the partition's lookahead is the minimum boundary latency.
+//
+// Decomposition independence (the shard-equivalence battery's subject):
+// the merged observable state — flow completions, trace events — is
+// byte-identical at every shard count, because nothing observable depends
+// on event *arrival order* at a link:
+//   - same-instant arrivals are staged, and a pump event (armed at that
+//     instant, hence sequenced after every staging event regardless of
+//     which shard or channel delivered them) transmits the batch in
+//     canonical (flow, chunk) order;
+//   - transmit time rounds up to >= 1 ns and link latency is checked > 0,
+//     so a pump can never re-stage work at its own instant;
+//   - fault/repair events are scheduled before the run starts, so at any
+//     instant they sequence before that instant's traffic on every
+//     decomposition.
+//
+// The engine deliberately models contention only as store-and-forward
+// serialization (no PFC/ECN; flowsim/packet.h is the fidelity engine) —
+// it is the PDES workhorse: per-chunk-per-hop event rates at Pod scale
+// with an exactly-checkable parallel decomposition.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/pdes.h"
+#include "topo/partition.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+
+struct ShardNetConfig {
+  /// Store-and-forward granularity. Smaller chunks = more events and finer
+  /// pipelining; completions shift accordingly (a model parameter, not an
+  /// accuracy knob — equivalence holds at any value).
+  DataSize chunk = DataSize::kilobytes(64);
+};
+
+class ShardedFlowNet {
+ public:
+  /// All three references must outlive the net. `partition.shards` must
+  /// match `sharded.shards()`, and the partition's lookahead must not be
+  /// tighter than the simulator's (equal in normal use).
+  ShardedFlowNet(const topo::Topology& topology, const topo::Partition& partition,
+                 sim::ShardedSimulator& sharded, ShardNetConfig config = {});
+
+  /// Register a flow before running: `path` hop-connected, every link with
+  /// latency > 0 (the PDES no-same-instant-forwarding requirement) and
+  /// nonzero capacity. Injection is paced at `inject_rate` from `start`.
+  FlowId start_flow(std::vector<LinkId> path, DataSize size, TimePoint start,
+                    Bandwidth inject_rate);
+
+  /// Schedule a link failure/repair before running. State changes apply on
+  /// the owner shard at `at`; chunks arriving while down park on the link
+  /// and re-stage at repair (chunks already serialized keep propagating —
+  /// failure empties the queue's future, not the wire).
+  void fail_link(LinkId link, TimePoint at);
+  void repair_link(LinkId link, TimePoint at);
+
+  /// Enable per-shard tracers (flow start/finish, link down/up events).
+  void enable_tracing(std::size_t capacity = 1u << 20);
+
+  // ---- Post-run observables (merged across shards, canonically ordered) ----
+
+  struct FlowResult {
+    FlowId id;
+    TimePoint finish;
+    DataSize size = DataSize::zero();
+    std::uint32_t hops = 0;
+  };
+
+  /// Completed flows sorted by id — identical at every shard count.
+  [[nodiscard]] std::vector<FlowResult> results() const;
+  [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::size_t flows() const { return flows_.size(); }
+  /// Total chunk transmissions (work metric for bench scaling tables).
+  [[nodiscard]] std::uint64_t chunk_hops() const;
+
+  /// `flow,finish_ns,size_bits,hops` rows sorted by flow id.
+  void write_csv(std::ostream& os) const;
+  /// All shard tracers merged into one canonically sorted CSV (same line
+  /// format as metrics::Tracer::write_csv). Byte-identical at every shard
+  /// count; ties sort by (time, kind, a, b, value).
+  void write_trace_csv(std::ostream& os) const;
+
+ private:
+  struct Staged {
+    FlowId flow;
+    std::uint32_t chunk = 0;
+    std::uint32_t hop = 0;  ///< Index into the flow's path of the link.
+  };
+
+  struct LinkState {
+    TimePoint free;  ///< When the egress finishes its last accepted chunk.
+    bool up = true;
+    bool pump_armed = false;
+    std::vector<Staged> staged;  ///< Arrivals at the pump's instant.
+    std::vector<Staged> parked;  ///< Arrivals held while the link is down.
+  };
+
+  struct Flow {
+    FlowId id;
+    std::vector<LinkId> path;
+    DataSize size = DataSize::zero();
+    TimePoint start;
+    Bandwidth rate = Bandwidth::zero();
+    std::uint32_t chunks = 0;
+    std::uint32_t delivered = 0;  ///< Touched only by the last link's shard.
+  };
+
+  /// Per-shard mutable scratch, cache-line separated so neighbor shards
+  /// never write the same line.
+  struct alignas(64) ShardScratch {
+    std::vector<FlowResult> results;
+    std::uint64_t chunk_hops = 0;
+  };
+
+  [[nodiscard]] int owner(LinkId link) const { return part_->shard_of_link(link); }
+  [[nodiscard]] sim::Simulator& core(int s) { return sim_->shard(s); }
+  [[nodiscard]] DataSize chunk_size(const Flow& f, std::uint32_t k) const;
+  static std::uint64_t key_of(FlowId flow, std::uint32_t chunk) {
+    return (static_cast<std::uint64_t>(flow.value()) << 32) | chunk;
+  }
+
+  /// Stage an arrival on `link` at the owner's current instant and arm the
+  /// pump. Must run on the owner shard (arrival events are delivered there).
+  void stage(LinkId link, Staged s);
+  /// Transmit every chunk staged at this instant in (flow, chunk) order.
+  void pump(LinkId link);
+  void inject(FlowId flow, std::uint32_t k);
+  void deliver(FlowId flow);
+
+  const topo::Topology* topo_;
+  const topo::Partition* part_;
+  sim::ShardedSimulator* sim_;
+  ShardNetConfig config_;
+  std::vector<LinkState> links_;  ///< LinkId-indexed; entry touched only by owner.
+  std::vector<Flow> flows_;       ///< FlowId-indexed (ids are dense from 0).
+  std::vector<ShardScratch> scratch_;  ///< One per shard.
+};
+
+}  // namespace hpn::flowsim

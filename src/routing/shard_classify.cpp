@@ -1,0 +1,38 @@
+#include "routing/shard_classify.h"
+
+#include "common/check.h"
+
+namespace hpn::routing {
+
+PathShardProfile classify_path(const topo::Partition& part,
+                               const topo::Topology& topo, const Path& path) {
+  HPN_CHECK(path.valid());
+  PathShardProfile profile;
+  profile.home = part.shard_of_link(path.links.front());
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const LinkId link = path.links[i];
+    if (!part.is_boundary(link)) continue;
+    // The handoff at dst(link) lands on dst's shard: the next link's owner,
+    // or — after the final hop — the shard receiving the delivery.
+    profile.crossings.push_back(ShardCrossing{
+        i, link, part.shard_of_link(link),
+        part.shard_of_node(topo.link(link).dst)});
+  }
+  return profile;
+}
+
+ShardTrafficStats classify_paths(const topo::Partition& part,
+                                 const topo::Topology& topo,
+                                 std::span<const Path> paths) {
+  ShardTrafficStats stats;
+  for (const Path& p : paths) {
+    if (!p.valid()) continue;
+    const PathShardProfile profile = classify_path(part, topo, p);
+    ++stats.paths;
+    if (profile.local()) ++stats.local_paths;
+    stats.crossings += profile.crossings.size();
+  }
+  return stats;
+}
+
+}  // namespace hpn::routing

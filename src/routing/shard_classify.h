@@ -1,0 +1,55 @@
+// Shard classification of routed paths.
+//
+// The PDES layer (sim/pdes.h) partitions the fabric into shards; a routed
+// path then alternates between shard-local stretches and boundary hops. A
+// chunk hands off between consecutive links at the shared node, so the
+// handoff after link i crosses shards exactly when link i is a boundary
+// link of the partition. This classifier turns Router::trace output into
+// that shard itinerary — benches report how much of a workload's traffic
+// is cross-shard (the honest denominator for any speedup claim), and the
+// engine layer uses the same rule to decide local-schedule vs channel post.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "routing/router.h"
+#include "topo/partition.h"
+
+namespace hpn::routing {
+
+struct ShardCrossing {
+  std::size_t hop = 0;  ///< Index into Path::links of the boundary link.
+  LinkId link;
+  int from = 0;  ///< Shard owning the boundary link.
+  int to = 0;    ///< Shard owning the next hop (or the destination node).
+};
+
+struct PathShardProfile {
+  int home = 0;  ///< Shard owning the first hop (where injection happens).
+  std::vector<ShardCrossing> crossings;
+  [[nodiscard]] bool local() const { return crossings.empty(); }
+};
+
+/// Classify one path against a partition. The path must be valid and every
+/// link id must belong to the partitioned topology.
+[[nodiscard]] PathShardProfile classify_path(const topo::Partition& part,
+                                             const topo::Topology& topo,
+                                             const Path& path);
+
+/// Aggregate over a workload's paths (invalid paths are skipped).
+struct ShardTrafficStats {
+  std::size_t paths = 0;        ///< Valid paths classified.
+  std::size_t local_paths = 0;  ///< Paths that never leave their home shard.
+  std::size_t crossings = 0;    ///< Total boundary handoffs across all paths.
+  [[nodiscard]] double local_fraction() const {
+    return paths == 0 ? 1.0 : static_cast<double>(local_paths) /
+                                  static_cast<double>(paths);
+  }
+};
+
+[[nodiscard]] ShardTrafficStats classify_paths(const topo::Partition& part,
+                                               const topo::Topology& topo,
+                                               std::span<const Path> paths);
+
+}  // namespace hpn::routing

@@ -1,0 +1,126 @@
+#include "sim/pdes.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace hpn::sim {
+
+ShardedSimulator::ShardedSimulator(int shards, Duration lookahead)
+    : lookahead_{lookahead} {
+  HPN_CHECK_MSG(shards >= 1, "shard count must be >= 1, got " << shards);
+  HPN_CHECK_MSG(lookahead >= Duration::zero(), "negative lookahead");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) shards_.push_back(std::make_unique<Simulator>());
+  channels_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
+}
+
+void ShardedSimulator::post(int from, int to, TimePoint deliver_at, std::uint64_t key,
+                            InlineCallback cb) {
+  HPN_CHECK(from >= 0 && from < shards() && to >= 0 && to < shards());
+  if (from == to) {
+    // Shard-local: straight into the owner's queue, no channel round-trip.
+    shard(from).schedule_at(deliver_at, std::move(cb));
+    return;
+  }
+  HPN_CHECK_MSG(!lookahead_.is_infinite(),
+                "cross-shard post on a partition with no boundary links");
+  HPN_CHECK_MSG(deliver_at - shard(from).now() >= lookahead_,
+                "conservative contract violated: delivery " << to_string(deliver_at)
+                    << " is closer than lookahead " << to_string(lookahead_)
+                    << " from sender clock " << to_string(shard(from).now()));
+  Channel& ch = channel(from, to);
+  ch.pending.push_back(Message{deliver_at, key, static_cast<std::uint32_t>(from),
+                               ch.next_seq++, std::move(cb)});
+}
+
+std::size_t ShardedSimulator::flush_channels() {
+  struct Pending {
+    Message msg;
+    int dst = 0;
+  };
+  std::vector<Pending> all;
+  const int n = shards();
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) {
+      Channel& ch = channel(from, to);
+      for (Message& m : ch.pending) all.push_back(Pending{std::move(m), to});
+      ch.pending.clear();
+    }
+  }
+  if (all.empty()) return 0;
+  // Canonical delivery order. `key` is the model's decomposition-independent
+  // tie-break; (src, seq) only orders messages a correct model already
+  // treats as commutative.
+  std::sort(all.begin(), all.end(), [](const Pending& a, const Pending& b) {
+    return std::tie(a.msg.deliver_at, a.msg.key, a.msg.src, a.msg.seq) <
+           std::tie(b.msg.deliver_at, b.msg.key, b.msg.src, b.msg.seq);
+  });
+  for (Pending& p : all) {
+    shard(p.dst).schedule_at(p.msg.deliver_at, std::move(p.msg.cb));
+  }
+  stats_.messages += all.size();
+  return all.size();
+}
+
+void ShardedSimulator::run_window(TimePoint window_end, bool lockstep, TimePoint at,
+                                  exec::RunnerPool* pool) {
+  const std::size_t n = shards_.size();
+  auto task = [&](std::size_t i) {
+    if (lockstep) {
+      shards_[i]->run_until(at);
+    } else {
+      shards_[i]->run_before(window_end);
+    }
+  };
+  if (pool != nullptr && pool->jobs() > 1 && n > 1) {
+    pool->for_each(n, task);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+  }
+  ++stats_.windows;
+  if (lockstep) ++stats_.lockstep_windows;
+}
+
+TimePoint ShardedSimulator::next_time() const {
+  TimePoint t = TimePoint::far_future();
+  for (const auto& s : shards_) t = std::min(t, s->next_event_time());
+  for (const Channel& ch : channels_) {
+    for (const Message& m : ch.pending) t = std::min(t, m.deliver_at);
+  }
+  return t;
+}
+
+void ShardedSimulator::run_until(TimePoint horizon, exec::RunnerPool* pool) {
+  std::uint64_t fired_before = 0;
+  for (const auto& s : shards_) fired_before += s->processed_events();
+
+  for (;;) {
+    // Channels hold pre-run posts on the first pass and nothing afterwards
+    // (every window flushes before looping).
+    flush_channels();
+    TimePoint t = TimePoint::far_future();
+    for (const auto& s : shards_) t = std::min(t, s->next_event_time());
+    if (t >= horizon) break;
+
+    const bool lockstep = lookahead_ == Duration::zero();
+    TimePoint end = horizon;
+    if (!lockstep && !lookahead_.is_infinite()) {
+      // Overflow-safe t + lookahead.
+      const std::int64_t room = TimePoint::far_future().as_nanos() - t.as_nanos();
+      if (lookahead_.as_nanos() < room) end = std::min(horizon, t + lookahead_);
+    }
+    run_window(end, lockstep, t, pool);
+  }
+
+  std::uint64_t fired_after = 0;
+  for (const auto& s : shards_) fired_after += s->processed_events();
+  stats_.events += fired_after - fired_before;
+}
+
+void ShardedSimulator::run(exec::RunnerPool* pool) {
+  run_until(TimePoint::far_future(), pool);
+}
+
+}  // namespace hpn::sim

@@ -1,0 +1,129 @@
+// Conservative parallel discrete-event simulation (PDES) of ONE run.
+//
+// exec::RunnerPool (PR 5) scales *across* independent runs; this layer
+// scales *inside* a run. A ShardedSimulator owns K per-shard event cores
+// (the slab-pool + calendar-queue Simulator of PR 3, instantiated per
+// shard) and drives them in conservative lookahead windows:
+//
+//   1. T     = earliest pending event across all shards,
+//   2. every shard runs its events with time < T + lookahead in parallel
+//      (a RunnerPool batch: one task per shard, work-stealing deques,
+//      full barrier at batch end),
+//   3. cross-shard messages accumulated during the window are flushed into
+//      their destination shards in one canonical order,
+//   4. repeat until every queue and channel drains.
+//
+// Safety: a shard posting to another shard must schedule the delivery at
+// least `lookahead` after its own clock (checked). T is the global minimum,
+// so nothing generated during the window can land before T + lookahead —
+// every event executed in step 2 was already causally settled. With
+// lookahead zero (adversarial topologies where every link crosses shards)
+// the engine degrades to lockstep: one global timestamp per window, still
+// correct, no parallelism — the documented worst case.
+//
+// Determinism: the window schedule is a pure function of event times and
+// the static lookahead; within a shard the Simulator's (time, seq) order
+// applies; channel flushes are sorted by (deliver_at, key, src, seq) where
+// `key` is a model-supplied canonical tie-break. Nothing depends on thread
+// interleaving, so a run is bit-reproducible at any worker count — and a
+// model whose cross-shard interactions are pure timestamped messages (see
+// flowsim/shardnet.h) produces byte-identical merged traces at any *shard*
+// count, pinned by the shard-equivalence battery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/runner_pool.h"
+#include "sim/simulator.h"
+
+namespace hpn::sim {
+
+class ShardedSimulator {
+ public:
+  /// `lookahead` is the conservative window width — for a fabric partition
+  /// this is Partition::lookahead (min static latency over boundary links).
+  /// Duration::infinite() (no boundary) runs each shard to completion in a
+  /// single window.
+  ShardedSimulator(int shards, Duration lookahead);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  [[nodiscard]] Simulator& shard(int s) { return *shards_.at(static_cast<std::size_t>(s)); }
+  [[nodiscard]] const Simulator& shard(int s) const {
+    return *shards_.at(static_cast<std::size_t>(s));
+  }
+
+  /// Post `cb` to run on shard `to` at `deliver_at`. Must be called from
+  /// shard `from`'s window task (or before run()); the conservative
+  /// contract `deliver_at >= shard(from).now() + lookahead` is checked.
+  /// `key` orders same-instant deliveries canonically — it must be a pure
+  /// function of the model payload (e.g. (flow, chunk)), never of the
+  /// decomposition, or shard counts become observable.
+  void post(int from, int to, TimePoint deliver_at, std::uint64_t key,
+            InlineCallback cb);
+
+  /// Run windows until every shard queue and channel drains. With `pool`
+  /// null or single-worker (or a single shard) the window tasks run inline
+  /// in shard order — the serial reference the parallel path must
+  /// reproduce exactly.
+  void run(exec::RunnerPool* pool = nullptr);
+
+  /// Run windows until the earliest pending work is at or beyond `horizon`,
+  /// i.e. execute every event with time < `horizon`.
+  void run_until(TimePoint horizon, exec::RunnerPool* pool = nullptr);
+
+  /// Earliest pending event or channel delivery; far_future when drained.
+  [[nodiscard]] TimePoint next_time() const;
+
+  struct Stats {
+    std::uint64_t windows = 0;        ///< Barrier rounds executed.
+    std::uint64_t messages = 0;       ///< Cross-shard deliveries flushed.
+    std::uint64_t events = 0;         ///< Events fired across all shards.
+    std::uint64_t lockstep_windows = 0;  ///< Windows run in lookahead-0 mode.
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Message {
+    TimePoint deliver_at;
+    std::uint64_t key = 0;
+    std::uint32_t src = 0;
+    std::uint64_t seq = 0;  ///< Per-channel send order (last-resort tie).
+    InlineCallback cb;
+  };
+
+  /// One per ordered (src, dst) shard pair. During a window only shard
+  /// `src`'s task appends; flushes happen on the coordinating thread after
+  /// the barrier, so no locking is needed — the RunnerPool batch boundary
+  /// is the synchronization point.
+  struct Channel {
+    std::vector<Message> pending;
+    std::uint64_t next_seq = 0;
+  };
+
+  [[nodiscard]] Channel& channel(int from, int to) {
+    return channels_[static_cast<std::size_t>(from) * shards_.size() +
+                     static_cast<std::size_t>(to)];
+  }
+
+  /// Deliver every accumulated message into its destination shard's event
+  /// queue, in one canonical order. Returns the number delivered.
+  std::size_t flush_channels();
+
+  /// Run one window: every shard executes events below `window_end` (or,
+  /// in lockstep mode, exactly at `at`). Parallel when pool has >1 worker.
+  void run_window(TimePoint window_end, bool lockstep, TimePoint at,
+                  exec::RunnerPool* pool);
+
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<Channel> channels_;
+  Stats stats_;
+};
+
+}  // namespace hpn::sim

@@ -1,0 +1,112 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace hpn::topo {
+namespace {
+
+/// Community key: nodes that should never be split apart. Ordered so ties
+/// resolve identically on every platform (std::map iteration order).
+struct CommunityKey {
+  int cls = 0;  ///< 0 = segment island, 1 = Agg group, 2 = Core group, 3 = block.
+  int a = 0;
+  int b = 0;
+  auto operator<=>(const CommunityKey&) const = default;
+};
+
+CommunityKey key_of(const Node& node, std::size_t node_count, int shards) {
+  const Location& loc = node.loc;
+  switch (node.kind) {
+    case NodeKind::kAgg:
+      // Dual-plane fabrics keep planes disjoint; an Agg community per
+      // (pod, plane) means plane-local traffic stays shard-local whenever
+      // a whole plane lands in one shard.
+      return CommunityKey{1, loc.pod, loc.plane >= 0 ? loc.plane : loc.local};
+    case NodeKind::kCore:
+      return CommunityKey{2, loc.plane >= 0 ? loc.plane : loc.local, 0};
+    default:
+      break;
+  }
+  if (loc.pod >= 0 && loc.segment >= 0) {
+    // Hosts, GPUs, NICs, NVSwitches, ToRs of one rail-isolated segment.
+    return CommunityKey{0, loc.pod, loc.segment};
+  }
+  // Unlabeled nodes (random multigraphs, storage, frontend): contiguous
+  // index blocks, roughly one per shard.
+  const std::size_t block =
+      std::max<std::size_t>(1, (node_count + static_cast<std::size_t>(shards) - 1) /
+                                   static_cast<std::size_t>(shards));
+  return CommunityKey{3, static_cast<int>(node.id.index() / block), 0};
+}
+
+}  // namespace
+
+void Partition::derive_links(const Topology& topo) {
+  HPN_CHECK(node_shard.size() == topo.node_count());
+  link_shard.assign(topo.link_count(), 0);
+  boundary_.assign(topo.link_count(), 0);
+  boundary_links.clear();
+  lookahead = Duration::infinite();
+  nodes_per_shard.assign(static_cast<std::size_t>(shards), 0);
+  for (const Node& n : topo.nodes()) {
+    const int s = node_shard[n.id.index()];
+    HPN_CHECK_MSG(s >= 0 && s < shards, "node " << n.id << " has shard " << s);
+    ++nodes_per_shard[static_cast<std::size_t>(s)];
+  }
+  for (const Link& l : topo.links()) {
+    const int owner = node_shard[l.src.index()];
+    link_shard[l.id.index()] = owner;
+    if (node_shard[l.dst.index()] != owner) {
+      boundary_[l.id.index()] = 1;
+      boundary_links.push_back(l.id);
+      // Down links count too: a circuit link can come up mid-run, and the
+      // lookahead must already have accounted for it.
+      lookahead = std::min(lookahead, l.latency);
+    }
+  }
+}
+
+Partition partition_cluster(const Cluster& cluster, int shards) {
+  const Topology& topo = cluster.topo;
+  Partition p;
+  p.shards = std::max(1, shards);
+  p.node_shard.assign(topo.node_count(), 0);
+
+  if (p.shards > 1) {
+    // Enumerate communities and their node counts. std::map gives a
+    // platform-independent deterministic order.
+    std::map<CommunityKey, std::vector<NodeId>> communities;
+    for (const Node& n : topo.nodes()) {
+      communities[key_of(n, topo.node_count(), p.shards)].push_back(n.id);
+    }
+    // Greedy balance: communities in descending size (ties by key order)
+    // onto the currently lightest shard (ties to the lowest index). Both
+    // tie-breaks are total orders, so the assignment is deterministic.
+    std::vector<const std::pair<const CommunityKey, std::vector<NodeId>>*> order;
+    order.reserve(communities.size());
+    for (const auto& kv : communities) order.push_back(&kv);
+    std::stable_sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+      return a->second.size() > b->second.size();
+    });
+    std::vector<std::size_t> load(static_cast<std::size_t>(p.shards), 0);
+    for (const auto* kv : order) {
+      int best = 0;
+      for (int s = 1; s < p.shards; ++s) {
+        if (load[static_cast<std::size_t>(s)] < load[static_cast<std::size_t>(best)]) {
+          best = s;
+        }
+      }
+      for (const NodeId n : kv->second) p.node_shard[n.index()] = best;
+      load[static_cast<std::size_t>(best)] += kv->second.size();
+    }
+  }
+
+  p.derive_links(topo);
+  return p;
+}
+
+}  // namespace hpn::topo

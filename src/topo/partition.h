@@ -1,0 +1,75 @@
+// Domain decomposition of a built cluster for parallel discrete-event
+// simulation (PDES).
+//
+// HPN's structure is the gift (ROADMAP item 1): rails are segment-isolated
+// and the dual planes never re-hash across each other, so almost every
+// event in a simulation run touches only one (pod, segment) island. The
+// partitioner turns that observation into data: each node is assigned a
+// shard, each link is owned by the shard of its *source* node (the egress
+// port lives at the sender), and the few links whose endpoints straddle two
+// shards become the boundary. The minimum static latency over boundary
+// links is the conservative lookahead — a shard processing events strictly
+// before `window_start + lookahead` can never be surprised by a message
+// from another shard, because anything sent at or after `window_start`
+// needs at least one boundary-link latency to arrive.
+//
+// Communities are discovered data-driven from node Location metadata (the
+// same philosophy as topo/validate's TierProfile): (pod, segment) islands
+// for hosts/NICs/ToRs, (pod, plane) groups for Aggs, plane groups for
+// Cores, and index blocks for nodes without location labels (random fuzz
+// multigraphs), so every fabric in the registry partitions without special
+// cases. Any assignment is *correct* — boundary classification and
+// lookahead derivation do not depend on the communities being well chosen —
+// a bad split only costs parallel efficiency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/cluster.h"
+
+namespace hpn::topo {
+
+struct Partition {
+  int shards = 1;
+  /// NodeId-indexed shard assignment.
+  std::vector<int> node_shard;
+  /// LinkId-indexed owner: the shard of the link's source node.
+  std::vector<int> link_shard;
+  /// Links whose src and dst nodes live in different shards, in id order.
+  std::vector<LinkId> boundary_links;
+  /// min latency over boundary links; Duration::infinite() when there are
+  /// none (fully independent shards).
+  Duration lookahead = Duration::infinite();
+  /// Node count per shard (load-balance introspection).
+  std::vector<std::size_t> nodes_per_shard;
+
+  [[nodiscard]] int shard_of_node(NodeId n) const {
+    return node_shard.at(n.index());
+  }
+  [[nodiscard]] int shard_of_link(LinkId l) const {
+    return link_shard.at(l.index());
+  }
+  /// True when the link's endpoints are owned by different shards — the
+  /// event classification every engine layer shares: traffic over such a
+  /// link is a cross-shard message, everything else is shard-local.
+  [[nodiscard]] bool is_boundary(LinkId l) const {
+    return boundary_[l.index()] != 0;
+  }
+
+  /// Recompute link_shard / boundary_links / lookahead / nodes_per_shard
+  /// from node_shard (tests build adversarial partitions by hand and then
+  /// derive; partition_cluster calls this internally).
+  void derive_links(const Topology& topo);
+
+ private:
+  std::vector<std::uint8_t> boundary_;  ///< LinkId-indexed flag.
+};
+
+/// Partition `cluster` into (up to) `shards` domains. Deterministic: same
+/// cluster + shard count always yields the same assignment. `shards == 1`
+/// puts everything in shard 0 with no boundary (the serial reference every
+/// other shard count must reproduce byte-for-byte).
+Partition partition_cluster(const Cluster& cluster, int shards);
+
+}  // namespace hpn::topo

@@ -1,0 +1,150 @@
+#include "flowsim/shardnet.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/pdes.h"
+#include "topo/partition.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+namespace {
+
+using topo::LinkKind;
+using topo::NodeKind;
+
+/// A -> B -> C chain: 10 Gbps, 1 us latency per hop. With 1250-byte chunks
+/// every chunk serializes in exactly 1 us, so completion times are exact.
+struct Chain {
+  topo::Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc, cb, ba;
+
+  Chain() {
+    a = topo.add_node(NodeKind::kHostProxy, "a");
+    b = topo.add_node(NodeKind::kTor, "b");
+    c = topo.add_node(NodeKind::kHostProxy, "c");
+    const auto d1 = topo.add_duplex_link(a, b, LinkKind::kAccess,
+                                         Bandwidth::gbps(10), Duration::micros(1));
+    const auto d2 = topo.add_duplex_link(b, c, LinkKind::kAccess,
+                                         Bandwidth::gbps(10), Duration::micros(1));
+    ab = d1.forward;
+    ba = d1.backward;
+    bc = d2.forward;
+    cb = d2.backward;
+  }
+
+  [[nodiscard]] topo::Partition split(std::vector<int> node_shard) const {
+    topo::Partition p;
+    p.shards = 1;
+    for (int s : node_shard) p.shards = std::max(p.shards, s + 1);
+    p.node_shard = std::move(node_shard);
+    p.derive_links(topo);
+    return p;
+  }
+};
+
+ShardNetConfig chunk1250() {
+  ShardNetConfig cfg;
+  cfg.chunk = DataSize::bytes(1250);  // 10'000 bits = 1 us at 10 Gbps
+  return cfg;
+}
+
+TEST(ShardedFlowNet, StoreAndForwardPipelineIsExact) {
+  Chain chain;
+  const topo::Partition p = chain.split({0, 0, 0});
+  sim::ShardedSimulator sim{p.shards, p.lookahead};
+  ShardedFlowNet net{chain.topo, p, sim, chunk1250()};
+  // 4 chunks injected at line rate: chunk k departs hop1 at (k+1) us,
+  // reaches B at (k+2) us, departs hop2 at (k+3) us, reaches C at (k+4) us.
+  net.start_flow({chain.ab, chain.bc}, DataSize::bytes(5'000),
+                 TimePoint::origin(), Bandwidth::gbps(10));
+  sim.run();
+  const auto results = net.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].finish.as_nanos(), 7'000);
+  EXPECT_EQ(results[0].hops, 2u);
+  EXPECT_EQ(net.chunk_hops(), 8u);
+  EXPECT_EQ(net.completed(), 1u);
+}
+
+TEST(ShardedFlowNet, SameInstantContentionResolvesByFlowId) {
+  Chain chain;
+  const topo::Partition p = chain.split({0, 0, 0});
+  sim::ShardedSimulator sim{p.shards, p.lookahead};
+  ShardedFlowNet net{chain.topo, p, sim, chunk1250()};
+  // Both single-chunk flows hit link ab at t=0; the pump transmits flow 0
+  // first regardless of staging order.
+  const FlowId f0 = net.start_flow({chain.ab, chain.bc}, DataSize::bytes(1'250),
+                                   TimePoint::origin(), Bandwidth::gbps(10));
+  const FlowId f1 = net.start_flow({chain.ab, chain.bc}, DataSize::bytes(1'250),
+                                   TimePoint::origin(), Bandwidth::gbps(10));
+  sim.run();
+  const auto results = net.results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, f0);
+  EXPECT_EQ(results[0].finish.as_nanos(), 4'000);
+  EXPECT_EQ(results[1].id, f1);
+  EXPECT_EQ(results[1].finish.as_nanos(), 5'000);
+}
+
+TEST(ShardedFlowNet, FaultParksChunksUntilRepair) {
+  Chain chain;
+  const topo::Partition p = chain.split({0, 0, 0});
+  sim::ShardedSimulator sim{p.shards, p.lookahead};
+  ShardedFlowNet net{chain.topo, p, sim, chunk1250()};
+  net.enable_tracing();
+  net.start_flow({chain.ab, chain.bc}, DataSize::bytes(5'000),
+                 TimePoint::origin(), Bandwidth::gbps(10));
+  // Chunks reach B from 2 us; the down bc link parks them until 10 us.
+  net.fail_link(chain.bc, TimePoint::at_nanos(1'500));
+  net.repair_link(chain.bc, TimePoint::at_nanos(10'000));
+  sim.run();
+  const auto results = net.results();
+  ASSERT_EQ(results.size(), 1u);
+  // Parked chunks restage at 10 us, serialize back to back (11..14 us) and
+  // the last reaches C at 15 us.
+  EXPECT_EQ(results[0].finish.as_nanos(), 15'000);
+  std::ostringstream trace;
+  net.write_trace_csv(trace);
+  EXPECT_NE(trace.str().find("link_down"), std::string::npos);
+  EXPECT_NE(trace.str().find("link_up"), std::string::npos);
+}
+
+TEST(ShardedFlowNet, ShardedRunMatchesSerialByteForByte) {
+  auto run = [](const std::vector<int>& split, Duration lookahead_override,
+                bool use_override) {
+    Chain chain;
+    const topo::Partition p = chain.split(split);
+    const Duration la = use_override ? lookahead_override : p.lookahead;
+    sim::ShardedSimulator sim{p.shards, la};
+    ShardedFlowNet net{chain.topo, p, sim, chunk1250()};
+    net.enable_tracing();
+    net.start_flow({chain.ab, chain.bc}, DataSize::bytes(5'000),
+                   TimePoint::origin(), Bandwidth::gbps(10));
+    net.start_flow({chain.cb, chain.ba}, DataSize::bytes(3'750),
+                   TimePoint::at_nanos(500), Bandwidth::gbps(10));
+    net.start_flow({chain.ab, chain.bc}, DataSize::bytes(2'500),
+                   TimePoint::at_nanos(1'000), Bandwidth::gbps(5));
+    net.fail_link(chain.bc, TimePoint::at_nanos(2'500));
+    net.repair_link(chain.bc, TimePoint::at_nanos(6'000));
+    sim.run();
+    std::ostringstream csv, trace;
+    net.write_csv(csv);
+    net.write_trace_csv(trace);
+    return csv.str() + "|" + trace.str();
+  };
+  const std::string serial = run({0, 0, 0}, Duration::zero(), false);
+  // Every split of the chain, with natural lookahead and with the
+  // adversarial lockstep (lookahead 0) mode, must reproduce it exactly.
+  EXPECT_EQ(run({0, 0, 1}, Duration::zero(), false), serial);
+  EXPECT_EQ(run({0, 1, 1}, Duration::zero(), false), serial);
+  EXPECT_EQ(run({0, 1, 2}, Duration::zero(), false), serial);
+  EXPECT_EQ(run({0, 1, 2}, Duration::zero(), true), serial) << "lockstep mode";
+  EXPECT_EQ(run({1, 0, 1}, Duration::micros(1), true), serial);
+}
+
+}  // namespace
+}  // namespace hpn::flowsim

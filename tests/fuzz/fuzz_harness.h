@@ -31,6 +31,12 @@ struct RunOptions {
   /// Wall for the tick/packet engines; an engine still holding active flows
   /// at the horizon is reported as a failure (stall / deadlock oracle).
   Duration horizon = Duration::seconds(8);
+  /// PDES differential phase (>= 2 enables it): the scenario's workload and
+  /// fault schedule also run on the domain-decomposed flowsim/shardnet
+  /// engine, once at this shard count and once at 1 shard, with every
+  /// shard's InvariantAuditor armed. The merged completion CSV and trace
+  /// must match the serial reference byte-for-byte.
+  int shards = 0;
 };
 
 struct RunResult {
@@ -110,8 +116,10 @@ struct ReplayOutcome {
   std::string detail;  ///< Violation text when reproduced.
 };
 
-/// Load `path` and run the oracle battery on it.
-ReplayOutcome replay_scenario_file(const std::string& path);
+/// Load `path` and run the oracle battery on it. Pass the options the repro
+/// was found under (e.g. `shards`) so its phase actually re-runs.
+ReplayOutcome replay_scenario_file(const std::string& path,
+                                   const RunOptions& options = {});
 
 /// Driver exit code for a replay. A repro file exists *because* of a
 /// violation, so by default reproducing it is success (0) and a clean run

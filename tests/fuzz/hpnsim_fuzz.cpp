@@ -3,6 +3,7 @@
 //   hpnsim_fuzz --runs 500 --jobs 4 --seed 1 --out tests/fuzz/regressions
 //   hpnsim_fuzz --replay path/to/repro.scenario [--expect-clean]
 //   hpnsim_fuzz --runs 120 --jobs 8 --csv sweep.csv
+//   hpnsim_fuzz --runs 250 --shards 4          # + PDES differential phase
 //
 // Scenario i draws from seed `master ^ golden*(i+1)`, so results are a
 // function of (--seed, --runs) alone. Runs execute on an exec::RunnerPool
@@ -38,6 +39,7 @@ struct Args {
   std::string csv;
   std::string replay;
   std::string topology;  ///< Force every scenario onto one topology kind.
+  int shards = 0;        ///< >= 2 arms the PDES differential phase.
   bool expect_clean = false;
   bool ok = true;
 };
@@ -68,22 +70,26 @@ Args parse_args(int argc, char** argv) {
       a.replay = value();
     } else if (flag == "--topology") {
       a.topology = value();
+    } else if (flag == "--shards") {
+      a.shards = std::atoi(value());
     } else if (flag == "--expect-clean") {
       a.expect_clean = true;
     } else {
       std::cerr << "unknown flag " << flag << "\n"
                 << "usage: hpnsim_fuzz [--runs N] [--jobs N] [--seed S] "
-                   "[--topology KIND] [--out DIR] [--csv FILE] "
+                   "[--topology KIND] [--shards N] [--out DIR] [--csv FILE] "
                    "[--replay FILE [--expect-clean]]\n";
       a.ok = false;
     }
   }
-  if (a.runs < 1 || a.jobs < 1) a.ok = false;
+  if (a.runs < 1 || a.jobs < 1 || a.shards < 0 || a.shards == 1) a.ok = false;
   return a;
 }
 
-int replay_file(const std::string& path, bool expect_clean) {
-  const hpn::fuzz::ReplayOutcome outcome = hpn::fuzz::replay_scenario_file(path);
+int replay_file(const std::string& path, bool expect_clean,
+                const hpn::fuzz::RunOptions& run) {
+  const hpn::fuzz::ReplayOutcome outcome =
+      hpn::fuzz::replay_scenario_file(path, run);
   switch (outcome.status) {
     case hpn::fuzz::ReplayOutcome::Status::kUnreadable:
       std::cerr << "cannot read " << path << "\n";
@@ -108,12 +114,15 @@ int replay_file(const std::string& path, bool expect_clean) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (!args.ok) return 2;
-  if (!args.replay.empty()) return replay_file(args.replay, args.expect_clean);
+  hpn::fuzz::RunOptions run;
+  run.shards = args.shards;
+  if (!args.replay.empty()) return replay_file(args.replay, args.expect_clean, run);
 
   hpn::fuzz::SweepOptions opts;
   opts.runs = args.runs;
   opts.jobs = args.jobs;
   opts.master_seed = args.seed;
+  opts.run = run;
   if (!args.topology.empty()) {
     const auto kind = hpn::fuzz::topology_kind_from(args.topology);
     if (!kind) {
@@ -153,10 +162,11 @@ int main(int argc, char** argv) {
     std::cout << "run " << f.index << " (seed " << f.seed << ") FAILED:\n"
               << f.detail << "\n";
     const hpn::fuzz::Scenario shrunk = hpn::fuzz::shrink(
-        f.scenario,
-        [](const hpn::fuzz::Scenario& c) { return !hpn::fuzz::run_scenario(c).ok; });
+        f.scenario, [&run](const hpn::fuzz::Scenario& c) {
+          return !hpn::fuzz::run_scenario(c, run).ok;
+        });
     const std::string path = hpn::fuzz::write_repro(shrunk, args.out);
-    const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(shrunk);
+    const hpn::fuzz::RunResult r = hpn::fuzz::run_scenario(shrunk, run);
     std::cout << "wrote " << path << "\n"
               << (r.failure.empty() ? f.detail : r.failure) << "\n";
   }

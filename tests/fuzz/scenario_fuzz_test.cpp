@@ -73,6 +73,36 @@ TEST(ScenarioFormat, MaterializeIsDeterministic) {
   }
 }
 
+// Fault times are int64 nanoseconds end to end: text serialization and
+// materialize() must both preserve sub-microsecond values exactly (a fault
+// landing on a PDES window edge is one lookahead-quantum wide — any rounding
+// here would silently move it off the edge the fuzzer aimed at).
+TEST(ScenarioFormat, FaultTimesRoundTripAtNanosecondPrecision) {
+  const std::int64_t at_values[] = {0, 1, 7, 999, 1'001, 123'456,
+                                    1'234'567, 999'999'999'999};
+  Scenario s;
+  s.seed = 11;
+  s.topology = TopologyKind::kTinyClos;
+  s.size_knob = 4;
+  s.wiring = 2;
+  for (const std::int64_t at : at_values) {
+    s.faults.push_back({ScenarioFault::Kind::kLinkFlap, at, 0,
+                        at % 2 == 0 ? at + 13 : 0});
+  }
+  const std::string text = s.to_text();
+  const auto parsed = Scenario::from_text(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(*parsed, s);
+  EXPECT_EQ(parsed->to_text(), text);
+
+  const Materialized m = materialize(*parsed);
+  ASSERT_EQ(m.faults.size(), std::size(at_values));
+  for (std::size_t i = 0; i < m.faults.size(); ++i) {
+    EXPECT_EQ(m.faults[i].at.since_origin().as_nanos(), at_values[i]);
+    EXPECT_EQ(m.faults[i].down_for.as_nanos(), s.faults[i].down_for_ns);
+  }
+}
+
 TEST(ScenarioShrink, EveryCandidateIsStrictlySmaller) {
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     const Scenario s = random_scenario(seed);
@@ -110,6 +140,22 @@ TEST(FuzzSmoke, RandomScenariosUpholdInvariants) {
     const Scenario s =
         random_scenario(std::uint64_t{0xF00D0000} + static_cast<std::uint64_t>(i));
     const RunResult r = run_scenario(s);
+    EXPECT_TRUE(r.ok) << "scenario:\n" << s.to_text() << "failure:\n" << r.failure;
+  }
+}
+
+// PDES differential batch: every scenario also runs on the domain-decomposed
+// shardnet engine at 3 shards vs the serial reference, auditors armed per
+// shard, merged observables byte-compared. Faulted scenarios stay in — the
+// PDES phase replays the fault schedule on owner shards.
+TEST(FuzzSmoke, PdesDifferentialBatchMatchesSerial) {
+  const int runs = env_int("HPN_FUZZ_SMOKE_RUNS", 12);
+  RunOptions opts;
+  opts.shards = 3;
+  for (int i = 0; i < runs; ++i) {
+    const Scenario s =
+        random_scenario(std::uint64_t{0x5A4D0000} + static_cast<std::uint64_t>(i));
+    const RunResult r = run_scenario(s, opts);
     EXPECT_TRUE(r.ok) << "scenario:\n" << s.to_text() << "failure:\n" << r.failure;
   }
 }

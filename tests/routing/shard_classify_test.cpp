@@ -1,0 +1,70 @@
+#include "routing/shard_classify.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "topo/partition.h"
+
+namespace hpn::routing {
+namespace {
+
+TEST(ShardClassify, SingleShardPathsAreAllLocal) {
+  const fabric::Fabric& f = fabric::fabric_or_throw("hpn");
+  const topo::Cluster cluster = f.build(fabric::FabricScale{});
+  const topo::Partition part = topo::partition_cluster(cluster, 1);
+  Router router{cluster.topo, f.hash_policy()};
+  const Path path = router.trace(cluster.nic_of(0).nic,
+                                 cluster.nic_of(cluster.gpus_per_host).nic, {});
+  ASSERT_TRUE(path.valid());
+  const PathShardProfile profile = classify_path(part, cluster.topo, path);
+  EXPECT_EQ(profile.home, 0);
+  EXPECT_TRUE(profile.local());
+}
+
+TEST(ShardClassify, CrossingsMatchBoundaryLinksOnThePath) {
+  const fabric::Fabric& f = fabric::fabric_or_throw("hpn");
+  const topo::Cluster cluster = f.build(fabric::FabricScale{});
+  const topo::Partition part = topo::partition_cluster(cluster, 4);
+  Router router{cluster.topo, f.hash_policy()};
+  std::vector<Path> paths;
+  // Same-rail NIC pairs across hosts: a mix of segment-local (shard-local
+  // after partitioning) and cross-segment (boundary-crossing) paths.
+  const int gph = cluster.gpus_per_host;
+  for (int src_host = 0; src_host < static_cast<int>(cluster.hosts.size());
+       ++src_host) {
+    const int dst_host = (src_host + 1) % static_cast<int>(cluster.hosts.size());
+    FiveTuple ft;
+    ft.src_ip = static_cast<std::uint32_t>(src_host);
+    ft.dst_ip = static_cast<std::uint32_t>(dst_host);
+    const Path p = router.trace(cluster.nic_of(src_host * gph).nic,
+                                cluster.nic_of(dst_host * gph).nic, ft);
+    if (p.valid()) paths.push_back(p);
+  }
+  ASSERT_FALSE(paths.empty());
+  std::size_t expected_crossings = 0;
+  for (const Path& p : paths) {
+    const PathShardProfile profile = classify_path(part, cluster.topo, p);
+    EXPECT_EQ(profile.home, part.shard_of_link(p.links.front()));
+    std::size_t boundary_hops = 0;
+    for (const LinkId l : p.links) boundary_hops += part.is_boundary(l) ? 1u : 0u;
+    EXPECT_EQ(profile.crossings.size(), boundary_hops);
+    for (const ShardCrossing& c : profile.crossings) {
+      EXPECT_TRUE(part.is_boundary(c.link));
+      EXPECT_EQ(c.from, part.shard_of_link(c.link));
+      EXPECT_EQ(c.to, part.shard_of_node(cluster.topo.link(c.link).dst));
+      EXPECT_NE(c.from, c.to);
+    }
+    expected_crossings += boundary_hops;
+  }
+  const ShardTrafficStats stats = classify_paths(part, cluster.topo, paths);
+  EXPECT_EQ(stats.paths, paths.size());
+  EXPECT_EQ(stats.crossings, expected_crossings);
+  EXPECT_LE(stats.local_paths, stats.paths);
+  EXPECT_GE(stats.local_fraction(), 0.0);
+  EXPECT_LE(stats.local_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace hpn::routing

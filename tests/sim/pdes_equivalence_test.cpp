@@ -1,0 +1,337 @@
+// Shard-equivalence battery: the PDES decomposition must be unobservable.
+//
+// For every registry fabric, across seeds and shard counts {1, 2, 4, 8},
+// the same seeded workload (routed flows + link fault schedule) must
+// produce byte-identical completion CSVs and byte-identical merged trace
+// streams. shards=1 is the serial reference; every other decomposition —
+// including adversarial ones: forced lookahead 0 (lockstep), round-robin
+// node assignment (nearly every link a boundary), fault flaps landing
+// exactly on conservative window edges, and railx-lite circuit rotation
+// crossing a window edge — must reproduce it exactly.
+//
+// One canonical HPN run is additionally pinned as a golden file under
+// tests/support/golden/ (regenerate with HPN_UPDATE_GOLDEN=1), so the
+// engine's semantics are stable across sessions, not just self-consistent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/runner_pool.h"
+#include "fabric/fabric.h"
+#include "flowsim/shardnet.h"
+#include "routing/router.h"
+#include "routing/shard_classify.h"
+#include "sim/pdes.h"
+#include "topo/partition.h"
+
+#ifndef HPN_GOLDEN_DIR
+#error "HPN_GOLDEN_DIR must point at tests/support/golden"
+#endif
+
+namespace hpn {
+namespace {
+
+struct FlowSpec {
+  std::vector<LinkId> path;
+  DataSize size = DataSize::zero();
+  TimePoint start;
+  Bandwidth rate = Bandwidth::zero();
+};
+
+struct FaultSpec {
+  LinkId link;
+  TimePoint fail_at;
+  TimePoint repair_at;
+};
+
+struct Workload {
+  std::vector<FlowSpec> flows;
+  std::vector<FaultSpec> faults;
+};
+
+/// Seeded rail-aligned workload: flows between NICs of the same rail on
+/// different hosts (reachable on every registry fabric, including
+/// rail-only), plus a fail/repair schedule over random fabric links.
+Workload make_workload(const fabric::Fabric& f, const topo::Cluster& cluster,
+                       std::uint64_t seed, int flow_attempts = 24,
+                       int fault_count = 2) {
+  Workload w;
+  routing::Router router{cluster.topo, f.hash_policy()};
+  Rng rng{seed};
+  const int gph = cluster.gpus_per_host;
+  const auto hosts = static_cast<std::uint64_t>(cluster.hosts.size());
+  for (int i = 0; i < flow_attempts; ++i) {
+    const int src = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(cluster.gpu_count())));
+    const int rail = src % gph;
+    const int dst_host = static_cast<int>(rng.uniform_index(hosts));
+    const int dst = dst_host * gph + rail;
+    const DataSize size = DataSize::bytes(rng.uniform_int(2'000, 32'000));
+    const TimePoint start = TimePoint::at_nanos(rng.uniform_int(0, 50'000));
+    const Bandwidth rate = Bandwidth::gbps(static_cast<double>(
+        rng.uniform_int(50, 400)));
+    if (dst_host == src / gph) continue;  // keep the draw count stable
+    routing::FiveTuple ft;
+    ft.src_ip = static_cast<std::uint32_t>(src);
+    ft.dst_ip = static_cast<std::uint32_t>(dst);
+    ft.src_port = static_cast<std::uint16_t>(rng.uniform_int(1'000, 60'000));
+    const routing::Path path = router.trace(cluster.nic_of(src).nic,
+                                            cluster.nic_of(dst).nic, ft);
+    if (!path.valid()) continue;
+    w.flows.push_back(FlowSpec{path.links, size, start, rate});
+  }
+  std::vector<LinkId> fabric_links;
+  for (const topo::Link& l : cluster.topo.links()) {
+    if (l.kind == topo::LinkKind::kFabric && l.up) fabric_links.push_back(l.id);
+  }
+  for (int i = 0; i < fault_count && !fabric_links.empty(); ++i) {
+    const LinkId link = fabric_links[rng.uniform_index(fabric_links.size())];
+    const TimePoint fail_at = TimePoint::at_nanos(rng.uniform_int(5'000, 60'000));
+    const TimePoint repair_at = fail_at + Duration::nanos(rng.uniform_int(5'000, 30'000));
+    w.faults.push_back(FaultSpec{link, fail_at, repair_at});
+  }
+  return w;
+}
+
+struct Artifacts {
+  std::string csv;
+  std::string trace;
+  std::size_t completed = 0;
+  sim::ShardedSimulator::Stats stats;
+};
+
+/// Run one decomposition to quiescence, auditors armed on every shard.
+Artifacts run_workload(const topo::Topology& topo, const topo::Partition& part,
+                       const Workload& w, Duration lookahead,
+                       exec::RunnerPool* pool = nullptr) {
+  sim::ShardedSimulator sim{part.shards, lookahead};
+  for (int s = 0; s < sim.shards(); ++s) sim.shard(s).auditor().enable();
+  flowsim::ShardNetConfig cfg;
+  cfg.chunk = DataSize::bytes(4'096);
+  flowsim::ShardedFlowNet net{topo, part, sim, cfg};
+  net.enable_tracing(1u << 16);
+  for (const FlowSpec& f : w.flows) net.start_flow(f.path, f.size, f.start, f.rate);
+  for (const FaultSpec& f : w.faults) {
+    net.fail_link(f.link, f.fail_at);
+    net.repair_link(f.link, f.repair_at);
+  }
+  sim.run(pool);
+  for (int s = 0; s < sim.shards(); ++s) {
+    EXPECT_TRUE(sim.shard(s).auditor().ok())
+        << "shard " << s << ":\n" << sim.shard(s).auditor().report();
+  }
+  Artifacts a;
+  std::ostringstream csv, trace;
+  net.write_csv(csv);
+  net.write_trace_csv(trace);
+  a.csv = csv.str();
+  a.trace = trace.str();
+  a.completed = net.completed();
+  a.stats = sim.stats();
+  EXPECT_EQ(a.completed, w.flows.size()) << "a flow never finished";
+  return a;
+}
+
+TEST(PdesEquivalence, RegistryFabricsAcrossSeedsAndShardCounts) {
+  exec::RunnerPool pool{2};
+  for (const fabric::Fabric* f : fabric::all_fabrics()) {
+    const topo::Cluster cluster = f->build(fabric::FabricScale{});
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      SCOPED_TRACE(std::string{f->name()} + " seed " + std::to_string(seed));
+      const Workload w = make_workload(*f, cluster, 0xC0FFEE00 + seed * 977);
+      ASSERT_FALSE(w.flows.empty());
+      const topo::Partition serial = topo::partition_cluster(cluster, 1);
+      const Artifacts base =
+          run_workload(cluster.topo, serial, w, serial.lookahead);
+      for (int shards : {2, 4, 8}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        const topo::Partition part = topo::partition_cluster(cluster, shards);
+        const Artifacts got =
+            run_workload(cluster.topo, part, w, part.lookahead, &pool);
+        EXPECT_EQ(got.csv, base.csv);
+        EXPECT_EQ(got.trace, base.trace);
+      }
+    }
+  }
+}
+
+TEST(PdesEquivalence, LockstepZeroLookaheadMatchesSerial) {
+  // Adversarial window width: lookahead 0 degrades every window to one
+  // global timestamp — still byte-identical, just not parallel.
+  const fabric::Fabric& f = fabric::fabric_or_throw("hpn");
+  const topo::Cluster cluster = f.build(fabric::FabricScale{});
+  for (std::uint64_t seed : {7u, 8u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Workload w = make_workload(f, cluster, seed);
+    const topo::Partition serial = topo::partition_cluster(cluster, 1);
+    const Artifacts base = run_workload(cluster.topo, serial, w, serial.lookahead);
+    const topo::Partition part = topo::partition_cluster(cluster, 4);
+    const Artifacts got = run_workload(cluster.topo, part, w, Duration::zero());
+    EXPECT_EQ(got.csv, base.csv);
+    EXPECT_EQ(got.trace, base.trace);
+    EXPECT_GT(got.stats.lockstep_windows, 0u);
+  }
+}
+
+TEST(PdesEquivalence, RoundRobinAllBoundaryPartition) {
+  // Worst-case decomposition: node i -> shard i % 4 makes nearly every
+  // link a boundary link, so the natural lookahead collapses to the
+  // minimum link latency and almost all traffic crosses shards.
+  const fabric::Fabric& f = fabric::fabric_or_throw("hpn");
+  const topo::Cluster cluster = f.build(fabric::FabricScale{});
+  const Workload w = make_workload(f, cluster, 99);
+  const topo::Partition serial = topo::partition_cluster(cluster, 1);
+  const Artifacts base = run_workload(cluster.topo, serial, w, serial.lookahead);
+
+  topo::Partition part;
+  part.shards = 4;
+  part.node_shard.resize(cluster.topo.node_count());
+  for (std::size_t i = 0; i < part.node_shard.size(); ++i) {
+    part.node_shard[i] = static_cast<int>(i % 4);
+  }
+  part.derive_links(cluster.topo);
+  ASSERT_FALSE(part.boundary_links.empty());
+
+  std::vector<routing::Path> paths;
+  for (const FlowSpec& spec : w.flows) paths.push_back(routing::Path{spec.path});
+  const routing::ShardTrafficStats traffic =
+      routing::classify_paths(part, cluster.topo, paths);
+  EXPECT_GT(traffic.crossings, 0u);
+
+  const Artifacts natural = run_workload(cluster.topo, part, w, part.lookahead);
+  EXPECT_EQ(natural.csv, base.csv);
+  EXPECT_EQ(natural.trace, base.trace);
+  const Artifacts lockstep = run_workload(cluster.topo, part, w, Duration::zero());
+  EXPECT_EQ(lockstep.csv, base.csv);
+  EXPECT_EQ(lockstep.trace, base.trace);
+}
+
+TEST(PdesEquivalence, FaultFlapExactlyOnWindowEdges) {
+  // Fault events landing exactly on conservative window boundaries (and
+  // 1 ns to either side) on a *boundary* link: the hardest alignment for
+  // the window loop, since the fault instant coincides with the flush.
+  const fabric::Fabric& f = fabric::fabric_or_throw("hpn");
+  const topo::Cluster cluster = f.build(fabric::FabricScale{});
+  const topo::Partition part = topo::partition_cluster(cluster, 4);
+  ASSERT_FALSE(part.boundary_links.empty());
+  ASSERT_FALSE(part.lookahead.is_infinite());
+  const std::int64_t la = part.lookahead.as_nanos();
+  ASSERT_GT(la, 0);
+
+  // Prefer an Agg/Core tier boundary link (the cross-domain tier the
+  // partitioner is supposed to cut); fall back to any boundary link.
+  LinkId victim = part.boundary_links.front();
+  for (LinkId l : part.boundary_links) {
+    const topo::NodeKind sk = cluster.topo.node(cluster.topo.link(l).src).kind;
+    const topo::NodeKind dk = cluster.topo.node(cluster.topo.link(l).dst).kind;
+    if ((sk == topo::NodeKind::kAgg && dk == topo::NodeKind::kCore) ||
+        (sk == topo::NodeKind::kCore && dk == topo::NodeKind::kAgg)) {
+      victim = l;
+      break;
+    }
+  }
+
+  Workload w = make_workload(f, cluster, 1234, 24, /*fault_count=*/0);
+  // First windows start at the earliest flow start; edges land at
+  // start + k * lookahead. Flap on the edge, just before, and just after.
+  std::int64_t t0 = w.flows.front().start.as_nanos();
+  for (const FlowSpec& spec : w.flows) t0 = std::min(t0, spec.start.as_nanos());
+  for (const std::int64_t delta : {0LL, -1LL, 1LL}) {
+    Workload flapped = w;
+    const std::int64_t edge = t0 + 4 * la;
+    flapped.faults.push_back(FaultSpec{victim, TimePoint::at_nanos(edge + delta),
+                                       TimePoint::at_nanos(edge + 2 * la + delta)});
+    SCOPED_TRACE("delta " + std::to_string(delta));
+    const topo::Partition serial = topo::partition_cluster(cluster, 1);
+    const Artifacts base =
+        run_workload(cluster.topo, serial, flapped, serial.lookahead);
+    const Artifacts got = run_workload(cluster.topo, part, flapped, part.lookahead);
+    EXPECT_EQ(got.csv, base.csv);
+    EXPECT_EQ(got.trace, base.trace);
+  }
+}
+
+TEST(PdesEquivalence, RailxCircuitRotationAcrossWindowEdge) {
+  // railx-lite's reconfigurable tier: rotate away from epoch 0 and back,
+  // with the rotation instants crossing conservative window edges. The
+  // rotation is expressed through the same fail/repair channel the PDES
+  // fault model uses, so parked traffic must resume identically at every
+  // shard count.
+  const fabric::Fabric& f = fabric::fabric_or_throw("railx-lite");
+  topo::Cluster cluster = f.build(fabric::FabricScale{});
+  ASSERT_FALSE(cluster.circuits.empty());
+  fabric::apply_epoch(cluster, 0);
+  Workload w = make_workload(f, cluster, 4321, 24, /*fault_count=*/0);
+  ASSERT_FALSE(w.flows.empty());
+
+  const topo::Partition probe = topo::partition_cluster(cluster, 4);
+  const std::int64_t la =
+      probe.lookahead.is_infinite() ? 1'000 : probe.lookahead.as_nanos();
+  const std::int64_t away = 20'000 + (20'000 % la == 0 ? 0 : la - 20'000 % la);
+  const std::int64_t back = away + 7 * la + 1;  // return lands off-edge
+  const int epochs = cluster.circuits.epochs();
+  for (const LinkId l : cluster.circuits.epoch_links[0]) {
+    w.faults.push_back(
+        FaultSpec{l, TimePoint::at_nanos(away), TimePoint::at_nanos(back)});
+  }
+  if (epochs > 1) {
+    // The alternate epoch comes up while we are away (repair at `away`,
+    // fail again at `back`): it carries no routed traffic, but its links
+    // flip exactly on the window edges alongside the active epoch's.
+    for (const LinkId l : cluster.circuits.epoch_links[1]) {
+      w.faults.push_back(
+          FaultSpec{l, TimePoint::at_nanos(back), TimePoint::at_nanos(away)});
+    }
+  }
+
+  const topo::Partition serial = topo::partition_cluster(cluster, 1);
+  const Artifacts base = run_workload(cluster.topo, serial, w, serial.lookahead);
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    const topo::Partition part = topo::partition_cluster(cluster, shards);
+    const Artifacts got = run_workload(cluster.topo, part, w, part.lookahead);
+    EXPECT_EQ(got.csv, base.csv);
+    EXPECT_EQ(got.trace, base.trace);
+  }
+}
+
+TEST(PdesEquivalence, GoldenPinnedHpnRun) {
+  // Pin one canonical decomposition's observables across sessions, not
+  // just across shard counts (regenerate: HPN_UPDATE_GOLDEN=1 ./test_pdes).
+  const fabric::Fabric& f = fabric::fabric_or_throw("hpn");
+  const topo::Cluster cluster = f.build(fabric::FabricScale{});
+  const Workload w = make_workload(f, cluster, 42);
+  const topo::Partition part = topo::partition_cluster(cluster, 4);
+  const Artifacts got = run_workload(cluster.topo, part, w, part.lookahead);
+  const std::string actual = got.csv + "----\n" + got.trace;
+
+  const std::string path = std::string{HPN_GOLDEN_DIR} + "/pdes_hpn_seed42.txt";
+  if (std::getenv("HPN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{path};
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    std::printf("updated golden %s (%zu bytes)\n", path.c_str(), actual.size());
+    return;
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — regenerate with HPN_UPDATE_GOLDEN=1 ./test_pdes";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  if (actual != buf.str()) {
+    const std::string actual_path = path + ".actual";
+    std::ofstream out{actual_path};
+    out << actual;
+    FAIL() << "golden mismatch: " << path << " (observed written to "
+           << actual_path << ")";
+  }
+}
+
+}  // namespace
+}  // namespace hpn

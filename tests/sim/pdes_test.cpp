@@ -1,0 +1,193 @@
+#include "sim/pdes.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/runner_pool.h"
+
+namespace hpn::sim {
+namespace {
+
+TEST(ShardedSimulator, SingleShardRunsLikePlainSimulator) {
+  ShardedSimulator sim{1, Duration::infinite()};
+  std::vector<int> order;
+  sim.shard(0).schedule_at(TimePoint::at_nanos(30), [&] { order.push_back(3); });
+  sim.shard(0).schedule_at(TimePoint::at_nanos(10), [&] { order.push_back(1); });
+  sim.shard(0).schedule_at(TimePoint::at_nanos(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.stats().events, 3u);
+  EXPECT_EQ(sim.stats().messages, 0u);
+  EXPECT_EQ(sim.next_time(), TimePoint::far_future());
+}
+
+TEST(ShardedSimulator, LocalPostIsDirectSchedule) {
+  ShardedSimulator sim{2, Duration::nanos(100)};
+  bool fired = false;
+  sim.post(1, 1, TimePoint::at_nanos(5), 0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.stats().messages, 0u);  // never went through a channel
+}
+
+TEST(ShardedSimulator, CrossShardMessageArrivesAtItsTimestamp) {
+  ShardedSimulator sim{2, Duration::nanos(10)};
+  TimePoint arrived;
+  sim.shard(0).schedule_at(TimePoint::at_nanos(5), [&] {
+    sim.post(0, 1, TimePoint::at_nanos(15), 0,
+             [&] { arrived = sim.shard(1).now(); });
+  });
+  sim.run();
+  EXPECT_EQ(arrived.as_nanos(), 15);
+  EXPECT_EQ(sim.stats().messages, 1u);
+}
+
+TEST(ShardedSimulator, FlushOrderIsCanonicalByKeyNotBySender) {
+  // Two senders deliver to shard 2 at the same instant; the keys dictate
+  // execution order regardless of which channel the messages sat in.
+  ShardedSimulator sim{3, Duration::nanos(10)};
+  std::vector<int> order;
+  sim.shard(1).schedule_at(TimePoint::at_nanos(1), [&] {
+    sim.post(1, 2, TimePoint::at_nanos(20), /*key=*/7, [&] { order.push_back(7); });
+  });
+  sim.shard(0).schedule_at(TimePoint::at_nanos(1), [&] {
+    sim.post(0, 2, TimePoint::at_nanos(20), /*key=*/9, [&] { order.push_back(9); });
+    sim.post(0, 2, TimePoint::at_nanos(20), /*key=*/3, [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 7, 9}));
+}
+
+TEST(ShardedSimulator, ConservativeWindowNeverSplitsCausality) {
+  // Ping-pong between two shards with delivery exactly at the lookahead:
+  // the tightest legal schedule. 20 round trips must alternate strictly.
+  const Duration lookahead = Duration::nanos(10);
+  ShardedSimulator sim{2, lookahead};
+  std::vector<std::string> log;
+  std::function<void(int, int)> bounce = [&](int from, int hops) {
+    log.push_back((from == 0 ? "a@" : "b@") +
+                  std::to_string(sim.shard(from).now().as_nanos()));
+    if (hops == 0) return;
+    sim.post(from, 1 - from, sim.shard(from).now() + lookahead, 0,
+             [&bounce, from, hops] { bounce(1 - from, hops - 1); });
+  };
+  sim.shard(0).schedule_at(TimePoint::at_nanos(0), [&] { bounce(0, 20); });
+  sim.run();
+  ASSERT_EQ(log.size(), 21u);
+  for (int i = 0; i <= 20; ++i) {
+    EXPECT_EQ(log[static_cast<std::size_t>(i)],
+              (i % 2 == 0 ? "a@" : "b@") + std::to_string(10 * i));
+  }
+  EXPECT_EQ(sim.stats().messages, 20u);
+}
+
+TEST(ShardedSimulator, LockstepModeHandlesZeroLookahead) {
+  // lookahead 0 = every link crosses shards with no slack: the engine must
+  // degrade to one-timestamp windows, not deadlock or reorder.
+  ShardedSimulator sim{2, Duration::zero()};
+  std::vector<int> order;
+  sim.shard(0).schedule_at(TimePoint::at_nanos(5), [&] {
+    order.push_back(1);
+    sim.post(0, 1, TimePoint::at_nanos(5), 0, [&] {  // same-instant delivery
+      order.push_back(2);
+      sim.post(1, 0, TimePoint::at_nanos(7), 0, [&] { order.push_back(3); });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_GT(sim.stats().lockstep_windows, 0u);
+  EXPECT_EQ(sim.stats().lockstep_windows, sim.stats().windows);
+}
+
+TEST(ShardedSimulator, RunUntilStopsAtHorizon) {
+  ShardedSimulator sim{2, Duration::nanos(10)};
+  int fired = 0;
+  sim.shard(0).schedule_at(TimePoint::at_nanos(5), [&] { ++fired; });
+  sim.shard(1).schedule_at(TimePoint::at_nanos(50), [&] { ++fired; });
+  sim.run_until(TimePoint::at_nanos(30));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.next_time().as_nanos(), 50);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedSimulator, PreRunPostsAreDelivered) {
+  ShardedSimulator sim{2, Duration::nanos(10)};
+  bool fired = false;
+  // Posted before any window, from a shard whose clock is still at origin.
+  sim.post(0, 1, TimePoint::at_nanos(12), 0, [&] { fired = true; });
+  EXPECT_EQ(sim.next_time().as_nanos(), 12);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(ShardedSimulator, ParallelPoolMatchesInlineExecution) {
+  // The same message-heavy program, run inline and on a pool: identical
+  // event/message/window counts and an identical merged log. Logs are
+  // per-shard (window tasks run concurrently under the pool) and merged in
+  // shard order afterwards.
+  using ShardLogs = std::vector<std::vector<std::uint64_t>>;
+  auto program = [](ShardedSimulator& sim, ShardLogs& logs) {
+    for (int s = 0; s < sim.shards(); ++s) {
+      for (int i = 0; i < 5; ++i) {
+        sim.shard(s).schedule_at(TimePoint::at_nanos(1 + i), [&sim, &logs, s, i] {
+          const int to = (s + 1) % sim.shards();
+          const TimePoint at = sim.shard(s).now() + Duration::nanos(20 + i);
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint64_t>(i);
+          sim.post(s, to, at, key, [&logs, to, key, at] {
+            logs[static_cast<std::size_t>(to)].push_back(
+                key * 1'000'000 + static_cast<std::uint64_t>(at.as_nanos()));
+          });
+        });
+      }
+    }
+  };
+  ShardLogs inline_logs(4);
+  ShardedSimulator inline_sim{4, Duration::nanos(20)};
+  program(inline_sim, inline_logs);
+  inline_sim.run();
+
+  ShardLogs pool_logs(4);
+  ShardedSimulator pool_sim{4, Duration::nanos(20)};
+  program(pool_sim, pool_logs);
+  exec::RunnerPool pool{4};
+  pool_sim.run(&pool);
+
+  EXPECT_EQ(inline_logs, pool_logs);
+  EXPECT_EQ(inline_sim.stats().events, pool_sim.stats().events);
+  EXPECT_EQ(inline_sim.stats().messages, pool_sim.stats().messages);
+  EXPECT_EQ(inline_sim.stats().windows, pool_sim.stats().windows);
+}
+
+TEST(ShardedSimulator, InfiniteLookaheadRunsIndependentShardsToCompletion) {
+  ShardedSimulator sim{3, Duration::infinite()};
+  int fired = 0;
+  for (int s = 0; s < 3; ++s) {
+    sim.shard(s).schedule_at(TimePoint::at_nanos(100 * (s + 1)), [&] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.stats().windows, 1u);  // one window covers everything
+}
+
+TEST(SimulatorRunBefore, ExcludesTheBoundaryInstant) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint::at_nanos(5), [&] { order.push_back(5); });
+  s.schedule_at(TimePoint::at_nanos(10), [&] { order.push_back(10); });
+  s.run_before(TimePoint::at_nanos(10));
+  EXPECT_EQ(order, (std::vector<int>{5}));
+  // Clock stays at the last fired event, not the boundary: a message may
+  // still land exactly at the boundary instant.
+  EXPECT_EQ(s.now().as_nanos(), 5);
+  s.schedule_at(TimePoint::at_nanos(10), [&] { order.push_back(11); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 10, 11}));
+}
+
+}  // namespace
+}  // namespace hpn::sim

@@ -1,0 +1,128 @@
+#include "topo/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fabric/fabric.h"
+#include "topo/builders.h"
+
+namespace hpn::topo {
+namespace {
+
+Cluster small_hpn() {
+  HpnConfig cfg = HpnConfig::tiny();
+  cfg.segments_per_pod = 4;
+  cfg.hosts_per_segment = 2;
+  return build_hpn(cfg);
+}
+
+void check_consistency(const Cluster& cluster, const Partition& p) {
+  const Topology& topo = cluster.topo;
+  ASSERT_EQ(p.node_shard.size(), topo.node_count());
+  ASSERT_EQ(p.link_shard.size(), topo.link_count());
+  std::size_t assigned = 0;
+  for (std::size_t s = 0; s < p.nodes_per_shard.size(); ++s) {
+    assigned += p.nodes_per_shard[s];
+  }
+  EXPECT_EQ(assigned, topo.node_count());
+  Duration min_boundary = Duration::infinite();
+  std::size_t boundary_count = 0;
+  for (const Link& l : topo.links()) {
+    EXPECT_EQ(p.shard_of_link(l.id), p.shard_of_node(l.src))
+        << "link owner must be its source node's shard";
+    const bool crosses = p.shard_of_node(l.src) != p.shard_of_node(l.dst);
+    EXPECT_EQ(p.is_boundary(l.id), crosses);
+    if (crosses) {
+      ++boundary_count;
+      min_boundary = std::min(min_boundary, l.latency);
+    }
+  }
+  EXPECT_EQ(p.boundary_links.size(), boundary_count);
+  EXPECT_EQ(p.lookahead, min_boundary);
+}
+
+TEST(Partition, SingleShardHasNoBoundary) {
+  const Cluster cluster = small_hpn();
+  const Partition p = partition_cluster(cluster, 1);
+  EXPECT_EQ(p.shards, 1);
+  for (int s : p.node_shard) EXPECT_EQ(s, 0);
+  EXPECT_TRUE(p.boundary_links.empty());
+  EXPECT_TRUE(p.lookahead.is_infinite());
+  check_consistency(cluster, p);
+}
+
+TEST(Partition, HpnFourWayIsConsistentAndUsesEveryShard) {
+  const Cluster cluster = small_hpn();
+  const Partition p = partition_cluster(cluster, 4);
+  check_consistency(cluster, p);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(p.nodes_per_shard[s], 0u) << "shard " << s << " is empty";
+  }
+  // 4 segments into 4 shards: segment islands must not be split, so every
+  // host/NIC/GPU of one segment shares a shard with its ToRs.
+  for (const Host& h : cluster.hosts) {
+    const auto tors = cluster.tors_of_segment(h.pod, h.segment);
+    ASSERT_FALSE(tors.empty());
+    const int shard = p.shard_of_node(tors.front());
+    for (NodeId tor : tors) EXPECT_EQ(p.shard_of_node(tor), shard);
+    for (NodeId g : h.gpus) EXPECT_EQ(p.shard_of_node(g), shard);
+    for (const NicAttachment& nic : h.nics) {
+      EXPECT_EQ(p.shard_of_node(nic.nic), shard);
+    }
+  }
+}
+
+TEST(Partition, LookaheadIsPositiveOnRealFabrics) {
+  for (const fabric::Fabric* f : fabric::all_fabrics()) {
+    const Cluster cluster = f->build(fabric::FabricScale{});
+    for (int shards : {2, 4, 8}) {
+      const Partition p = partition_cluster(cluster, shards);
+      check_consistency(cluster, p);
+      if (!p.boundary_links.empty()) {
+        EXPECT_GT(p.lookahead, Duration::zero())
+            << f->name() << " at " << shards << " shards";
+      }
+    }
+  }
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const Cluster a = small_hpn();
+  const Cluster b = small_hpn();
+  const Partition pa = partition_cluster(a, 8);
+  const Partition pb = partition_cluster(b, 8);
+  EXPECT_EQ(pa.node_shard, pb.node_shard);
+  EXPECT_EQ(pa.link_shard, pb.link_shard);
+  EXPECT_EQ(pa.lookahead, pb.lookahead);
+}
+
+TEST(Partition, MoreShardsThanCommunitiesLeavesSpareShardsEmpty) {
+  // One segment, one pod: few communities; a 16-way split must still be
+  // valid (correctness never depends on balance).
+  HpnConfig cfg = HpnConfig::tiny();
+  cfg.segments_per_pod = 1;
+  cfg.hosts_per_segment = 1;
+  const Cluster cluster = build_hpn(cfg);
+  const Partition p = partition_cluster(cluster, 16);
+  check_consistency(cluster, p);
+}
+
+TEST(Partition, HandBuiltAdversarialDeriveLinks) {
+  // Round-robin node assignment: nearly every link becomes a boundary.
+  const Cluster cluster = small_hpn();
+  Partition p;
+  p.shards = 3;
+  p.node_shard.resize(cluster.topo.node_count());
+  for (std::size_t i = 0; i < p.node_shard.size(); ++i) {
+    p.node_shard[i] = static_cast<int>(i % 3);
+  }
+  p.derive_links(cluster.topo);
+  check_consistency(cluster, p);
+  EXPECT_FALSE(p.boundary_links.empty());
+  EXPECT_FALSE(p.lookahead.is_infinite());
+}
+
+}  // namespace
+}  // namespace hpn::topo
