@@ -75,8 +75,16 @@ void Communicator::send_message(int src_rank, int dst_rank, DataSize size, DoneF
     return;
   }
   conns_->post_wqe(conn, size);
+  if (conn.index() >= conn_paths_.size()) conn_paths_.resize(conn.index() + 1);
+  CachedPath& cached = conn_paths_[conn.index()];
+  const std::uint64_t epoch = conns_->connection(conn).path_epoch;
+  if (!cached.valid || cached.epoch != epoch) {
+    cached.path = session_->paths().intern(path.links);
+    cached.epoch = epoch;
+    cached.valid = true;
+  }
   const FlowId flow = session_->start_flow(
-      path.links, size, port_rate_,
+      cached.path, size, port_rate_,
       [this, alive = alive_, cm = conns_, conn, size, done = std::move(done)](FlowId id) {
         cm->complete_wqe(conn, size);  // the manager outlives communicators
         if (!*alive) return;
@@ -101,9 +109,11 @@ void Communicator::intra_host_flow(int rank, bool up, DataSize size, DoneFn done
   const LinkId up_link = h.gpu_nvlink.at(static_cast<std::size_t>(cluster_->rail_of(rank)));
   const LinkId link = up ? up_link : cluster_->topo.link(up_link).reverse;
   const Bandwidth cap = cluster_->topo.link(link).capacity;
-  session_->start_flow({link}, size, cap, [done = std::move(done)](FlowId) {
-    if (done) done();
-  });
+  // Intern the single-hop path directly — no per-flow vector materialized.
+  session_->start_flow(session_->paths().intern(&link, 1), size, cap,
+                       [done = std::move(done)](FlowId) {
+                         if (done) done();
+                       });
 }
 
 void Communicator::intra_phase(DataSize bytes, bool up, DoneFn done) {

@@ -141,6 +141,17 @@ class Communicator {
     DataSize size;
   };
 
+  /// ConnId -> interned path, keyed by the connection's path epoch.
+  /// Collectives send many messages per connection (channels x pipeline
+  /// chunks x ring steps), so after the first send a message reuses the
+  /// PathId and skips the per-send path-vector hash entirely; a fabric
+  /// change bumps the epoch and re-interns on the next send.
+  struct CachedPath {
+    std::uint64_t epoch = 0;
+    PathId path;
+    bool valid = false;
+  };
+
   /// One message src -> dst (global ranks) over planned connections;
   /// retries while unreachable.
   void send_message(int src_rank, int dst_rank, DataSize size, DoneFn done);
@@ -182,6 +193,7 @@ class Communicator {
   int rails_ = 0;
   Bandwidth port_rate_;
   std::unordered_map<FlowId, InFlight> inflight_;
+  std::vector<CachedPath> conn_paths_;  ///< ConnId-indexed.
   /// Cleared on destruction; every async continuation checks it first.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

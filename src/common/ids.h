@@ -43,6 +43,7 @@ using LinkId = Id<struct LinkIdTag>;    ///< A unidirectional link between two p
 using FlowId = Id<struct FlowIdTag>;    ///< One simulated flow.
 using JobId = Id<struct JobIdTag>;      ///< One training job.
 using ConnId = Id<struct ConnIdTag>;    ///< One RDMA connection (ccl layer).
+using PathId = Id<struct PathIdTag>;    ///< An interned link path (flowsim::PathTable).
 
 }  // namespace hpn
 

@@ -1,0 +1,82 @@
+#include "flowsim/path_table.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hpn::flowsim {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix for the running path hash.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::size_t kInitialBuckets = 1024;  // power of two
+
+}  // namespace
+
+PathTable::PathTable() : table_(kInitialBuckets, 0) {
+  paths_.emplace_back();  // PathId{0} = the empty path
+  hashes_.push_back(hash_path(nullptr, 0));
+  const std::size_t mask = table_.size() - 1;
+  table_[hashes_[0] & mask] = 1;
+}
+
+std::uint64_t PathTable::hash_path(const LinkId* links, std::size_t hops) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(hops);
+  for (std::size_t i = 0; i < hops; ++i) {
+    h = mix64(h ^ links[i].value());
+  }
+  return h;
+}
+
+void PathTable::grow_table() {
+  std::vector<std::uint32_t> bigger(table_.size() * 2, 0);
+  const std::size_t mask = bigger.size() - 1;
+  for (std::uint32_t entry : table_) {
+    if (entry == 0) continue;
+    std::size_t b = hashes_[entry - 1] & mask;
+    while (bigger[b] != 0) b = (b + 1) & mask;
+    bigger[b] = entry;
+  }
+  table_ = std::move(bigger);
+}
+
+PathId PathTable::intern(const LinkId* links, std::size_t hops) {
+  ++lookups_;
+  const std::uint64_t h = hash_path(links, hops);
+  std::size_t mask = table_.size() - 1;
+  std::size_t b = h & mask;
+  while (table_[b] != 0) {
+    const std::uint32_t cand = table_[b] - 1;
+    if (hashes_[cand] == h && paths_[cand].size() == hops &&
+        (hops == 0 ||
+         std::memcmp(paths_[cand].data(), links, hops * sizeof(LinkId)) == 0)) {
+      ++hits_;
+      return PathId{cand};
+    }
+    b = (b + 1) & mask;
+  }
+
+  HPN_CHECK_MSG(paths_.size() < std::numeric_limits<std::uint32_t>::max() - 1,
+                "path table full");
+  const auto id = static_cast<std::uint32_t>(paths_.size());
+  paths_.emplace_back(links, links + hops);
+  hashes_.push_back(h);
+  table_[b] = id + 1;
+  // Keep load under ~70% so probe chains stay short.
+  if ((paths_.size() + 1) * 10 >= table_.size() * 7) {
+    grow_table();
+  }
+  return PathId{id};
+}
+
+}  // namespace hpn::flowsim

@@ -11,16 +11,25 @@ namespace {
 constexpr double kBitEps = 1.0;  // flows within one bit of done are done
 }
 
-FlowSession::FlowSession(const topo::Topology& topology, sim::Simulator& simulator)
-    : topo_{&topology}, sim_{&simulator}, solver_{topology}, last_settle_{simulator.now()} {}
+FlowSession::FlowSession(const topo::Topology& topology, sim::Simulator& simulator,
+                         Aggregation aggregation)
+    : topo_{&topology},
+      sim_{&simulator},
+      solver_{topology, aggregation},
+      last_settle_{simulator.now()} {}
 
-FlowId FlowSession::start_flow(std::vector<LinkId> path, DataSize size, Bandwidth cap,
+FlowId FlowSession::start_flow(const std::vector<LinkId>& path, DataSize size,
+                               Bandwidth cap, CompletionFn on_complete) {
+  return start_flow(solver_.paths().intern(path), size, cap, std::move(on_complete));
+}
+
+FlowId FlowSession::start_flow(PathId path, DataSize size, Bandwidth cap,
                                CompletionFn on_complete) {
   HPN_CHECK_MSG(cap > Bandwidth::zero(), "flow needs a positive source cap");
   settle_to_now();
   const FlowId id{next_id_++};
   ActiveFlow f;
-  f.handle = solver_.add_flow(std::move(path), cap.as_bits_per_sec());
+  f.handle = solver_.add_flow(path, cap.as_bits_per_sec());
   f.remaining_bits = static_cast<double>(size.as_bits());
   f.on_complete = std::move(on_complete);
   f.started = sim_->now();
@@ -42,9 +51,10 @@ void FlowSession::record_trace(FlowId id, const ActiveFlow& flow, bool aborted) 
   rec.started = flow.started;
   rec.finished = sim_->now();
   rec.size = flow.size;
-  rec.path = solver_.path(flow.handle);
+  rec.path = solver_.path_id(flow.handle);
+  rec.hops = static_cast<std::uint32_t>(solver_.paths().hops(rec.path));
   rec.aborted = aborted;
-  trace_.push_back(std::move(rec));
+  trace_.push_back(rec);
 }
 
 void FlowSession::write_trace_csv(std::ostream& os) const {
@@ -52,7 +62,7 @@ void FlowSession::write_trace_csv(std::ostream& os) const {
   for (const FlowRecord& r : trace_) {
     os << r.id.value() << ',' << r.started.as_seconds() << ',' << r.finished.as_seconds()
        << ',' << r.fct().as_seconds() << ',' << static_cast<std::int64_t>(r.size.as_bytes())
-       << ',' << r.path.size() << ',' << (r.aborted ? 1 : 0) << "\n";
+       << ',' << r.hops << ',' << (r.aborted ? 1 : 0) << "\n";
   }
 }
 
@@ -70,12 +80,16 @@ bool FlowSession::abort_flow(FlowId id) {
   return true;
 }
 
-bool FlowSession::reroute_flow(FlowId id, std::vector<LinkId> new_path) {
+bool FlowSession::reroute_flow(FlowId id, const std::vector<LinkId>& new_path) {
+  return reroute_flow(id, solver_.paths().intern(new_path));
+}
+
+bool FlowSession::reroute_flow(FlowId id, PathId new_path) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   settle_to_now();
-  const auto hops = static_cast<double>(new_path.size());
-  solver_.set_path(it->second.handle, std::move(new_path));
+  const auto hops = static_cast<double>(solver_.paths().hops(new_path));
+  solver_.set_path(it->second.handle, new_path);
   sim_->trace(metrics::TraceEventKind::kFlowReroute, static_cast<std::uint32_t>(id.value()),
               metrics::kTraceNoId, hops);
   schedule_recompute();

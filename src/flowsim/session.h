@@ -24,13 +24,15 @@
 
 namespace hpn::flowsim {
 
-/// One completed (or aborted) flow, for offline analysis/replay.
+/// One completed (or aborted) flow, for offline analysis/replay. The path
+/// is interned — resolve the link sequence via FlowSession::paths().
 struct FlowRecord {
   FlowId id;
   TimePoint started;
   TimePoint finished;
   DataSize size;
-  std::vector<LinkId> path;
+  PathId path = PathId{0};
+  std::uint32_t hops = 0;
   bool aborted = false;
 
   [[nodiscard]] Duration fct() const { return finished - started; }
@@ -41,12 +43,17 @@ class FlowSession {
  public:
   using CompletionFn = std::function<void(FlowId)>;
 
-  FlowSession(const topo::Topology& topology, sim::Simulator& simulator);
+  FlowSession(const topo::Topology& topology, sim::Simulator& simulator,
+              Aggregation aggregation = Aggregation::kMacroFlows);
 
   /// Starts a flow of `size` over `path`, source-capped at `cap`.
   /// `on_complete` fires when the last bit is delivered (it may start new
-  /// flows). Zero-size flows complete at the current instant.
-  FlowId start_flow(std::vector<LinkId> path, DataSize size, Bandwidth cap,
+  /// flows). Zero-size flows complete at the current instant. Callers that
+  /// reuse paths (collectives) should intern once via paths() and use the
+  /// PathId overload.
+  FlowId start_flow(const std::vector<LinkId>& path, DataSize size, Bandwidth cap,
+                    CompletionFn on_complete = nullptr);
+  FlowId start_flow(PathId path, DataSize size, Bandwidth cap,
                     CompletionFn on_complete = nullptr);
 
   /// Remove a flow before completion (no callback). Returns false if the
@@ -56,7 +63,8 @@ class FlowSession {
   /// Replace an in-flight flow's path (the §4 port failover: shared QP
   /// contexts let the NIC move a flow to its other port transparently).
   /// Returns false if the flow already finished.
-  bool reroute_flow(FlowId id, std::vector<LinkId> new_path);
+  bool reroute_flow(FlowId id, const std::vector<LinkId>& new_path);
+  bool reroute_flow(FlowId id, PathId new_path);
 
   /// Re-solve rates — call after link state changed (a flow whose path has
   /// a down link stalls at rate zero until rerouted or repaired). Only the
@@ -84,6 +92,15 @@ class FlowSession {
   [[nodiscard]] const IncrementalMaxMin::Stats& solver_stats() const {
     return solver_.stats();
   }
+
+  /// Point-in-time macro-flow aggregation shape of the active flow set.
+  [[nodiscard]] IncrementalMaxMin::AggregationSnapshot solver_aggregation() const {
+    return solver_.aggregation();
+  }
+
+  /// The solver's path interner (intern once, start many flows by PathId).
+  [[nodiscard]] PathTable& paths() { return solver_.paths(); }
+  [[nodiscard]] const PathTable& paths() const { return solver_.paths(); }
 
   /// Record every flow's start/finish/path for offline analysis. Off by
   /// default (collectives create millions of flows in long runs).

@@ -1,0 +1,333 @@
+// Macro-flow aggregation battery: the aggregated engine must allocate
+// exactly like the preserved per-flow engine (tests/support/
+// reference_incremental.h) — bit-equal in kPerFlow mode, within the
+// documented kEps contract in kMacroFlows mode — across fuzzed mutation
+// sequences, every registry fabric, and the aggregation-specific edges
+// (weighted fairness, demotion by cap/path divergence, duplicate-link
+// paths, member-weighted accounting).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/fabric.h"
+#include "flowsim/maxmin.h"
+#include "tests/support/random_scenarios.h"
+#include "tests/support/reference_incremental.h"
+
+namespace hpn::flowsim {
+namespace {
+
+namespace ts = testsupport;
+
+constexpr double kRelTol = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The production engine and the preserved per-flow oracle, driven through
+/// identical mutation sequences.
+struct MirroredEngines {
+  MirroredEngines(const topo::Topology& t, Aggregation mode)
+      : agg{t, mode}, ref{t} {}
+
+  struct Pair {
+    IncrementalMaxMin::Handle a;
+    ReferenceIncrementalMaxMin::Handle r;
+    std::vector<LinkId> path;
+    double cap_bps;
+  };
+
+  void add(const std::vector<LinkId>& path, double cap_bps) {
+    flows.push_back(Pair{agg.add_flow(path, cap_bps), ref.add_flow(path, cap_bps),
+                         path, cap_bps});
+  }
+  void remove(std::size_t i) {
+    agg.remove_flow(flows[i].a);
+    ref.remove_flow(flows[i].r);
+    flows[i] = flows.back();
+    flows.pop_back();
+  }
+  void set_path(std::size_t i, std::vector<LinkId> path) {
+    agg.set_path(flows[i].a, path);
+    ref.set_path(flows[i].r, path);
+    flows[i].path = std::move(path);
+  }
+  void set_cap(std::size_t i, double cap) {
+    agg.set_cap(flows[i].a, cap);
+    ref.set_cap(flows[i].r, cap);
+    flows[i].cap_bps = cap;
+  }
+
+  /// resolve() both and compare: member-weighted re-rate counts must agree
+  /// exactly, rates bit-equal (per-flow mode) or within kRelTol.
+  void resolve_and_compare(bool bit_equal) {
+    EXPECT_EQ(agg.resolve(), ref.resolve());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const double got = agg.rate(flows[i].a);
+      const double want = ref.rate(flows[i].r);
+      if (bit_equal) {
+        EXPECT_EQ(got, want) << "flow " << i << " not bit-equal";
+      } else {
+        const double tol = std::max(1e-3, kRelTol * std::abs(want));
+        EXPECT_NEAR(got, want, tol) << "flow " << i << " disagrees";
+      }
+    }
+  }
+
+  IncrementalMaxMin agg;
+  ReferenceIncrementalMaxMin ref;
+  std::vector<Pair> flows;
+};
+
+void mirrored_fuzz_trial(std::uint64_t seed, Aggregation mode) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Rng rng{seed};
+  ts::RandomNet net = ts::make_random_net(rng, 6, 20);
+  MirroredEngines m{net.topo, mode};
+
+  const auto add_one = [&] {
+    // Half the adds clone an existing flow's (path, cap) so real macro-flow
+    // classes form; the rest draw fresh random walks.
+    if (!m.flows.empty() && rng.bernoulli(0.5)) {
+      const auto& donor = m.flows[rng.uniform_index(m.flows.size())];
+      m.add(donor.path, donor.cap_bps);
+      return;
+    }
+    FlowDemand f = ts::random_flow(net, rng);
+    m.add(f.path, f.cap_bps);
+  };
+  for (int i = 0; i < 10; ++i) add_one();
+
+  const int ops = static_cast<int>(rng.uniform_int(40, 90));
+  for (int op = 0; op < ops; ++op) {
+    SCOPED_TRACE("op=" + std::to_string(op));
+    const double dice = rng.uniform_real();
+    if (dice < 0.35) {
+      add_one();
+    } else if (dice < 0.5 && !m.flows.empty()) {
+      m.remove(rng.uniform_index(m.flows.size()));
+    } else if (dice < 0.62 && !m.flows.empty()) {
+      m.set_path(rng.uniform_index(m.flows.size()),
+                 ts::random_walk_path(net.topo, rng));
+    } else if (dice < 0.68 && m.flows.size() >= 2) {
+      // Converge one flow onto another's path: forms a class in-flight.
+      const std::size_t i = rng.uniform_index(m.flows.size());
+      const std::size_t j = rng.uniform_index(m.flows.size());
+      m.set_path(i, m.flows[j].path);
+    } else if (dice < 0.78 && !m.flows.empty()) {
+      // Cap change — splits a member out of its class (demotion path).
+      const std::size_t i = rng.uniform_index(m.flows.size());
+      const double cap = rng.bernoulli(0.3) ? kInf : rng.uniform_real(1e9, 450e9);
+      m.set_cap(i, cap);
+    } else {
+      const LinkId l = net.links[rng.uniform_index(net.links.size())];
+      net.topo.set_link_up(l, !net.topo.is_up(l));
+      if (rng.bernoulli(0.5)) {
+        m.agg.notify_link_changed(l);
+        m.ref.notify_link_changed(l);
+      } else {
+        m.agg.notify_topology_changed();
+        m.ref.notify_topology_changed();
+      }
+    }
+    if (op % 3 == 0 || op == ops - 1) {
+      m.resolve_and_compare(/*bit_equal=*/mode == Aggregation::kPerFlow);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_EQ(m.agg.flow_count(), m.flows.size());
+  EXPECT_EQ(m.agg.flow_count(), m.ref.flow_count());
+}
+
+TEST(MaxMinAggregate, PerFlowModeIsBitEqualToReference) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    mirrored_fuzz_trial(seed, Aggregation::kPerFlow);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MaxMinAggregate, MacroFlowsMatchReferenceUnderFuzzedMutation) {
+  for (std::uint64_t seed = 101; seed <= 160; ++seed) {
+    mirrored_fuzz_trial(seed, Aggregation::kMacroFlows);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Every registry fabric: collective-shaped flow sets (many members per
+// (path, cap) class), link failures, both engines re-solved and compared.
+TEST(MaxMinAggregate, MatchesReferenceOnEveryRegistryFabric) {
+  fabric::FabricScale scale;
+  scale.hosts_per_segment = 2;
+  scale.gpus_per_host = 4;
+  for (const fabric::Fabric* f : fabric::all_fabrics()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(std::string{f->name()} + " seed=" + std::to_string(seed));
+      topo::Cluster cluster = f->build(scale);
+      Rng rng{seed * 7919};
+      MirroredEngines m{cluster.topo, Aggregation::kMacroFlows};
+
+      // Collective-shaped load: a handful of distinct (path, cap) classes,
+      // each with many members (channels x chunks in the real ccl layer).
+      static constexpr double kCaps[] = {kInf, 200e9, 400e9};
+      for (int klass = 0; klass < 24; ++klass) {
+        const std::vector<LinkId> path = ts::random_walk_path(cluster.topo, rng);
+        if (path.empty()) continue;
+        const double cap = kCaps[rng.uniform_index(3)];
+        const int members = static_cast<int>(rng.uniform_int(1, 8));
+        for (int k = 0; k < members; ++k) m.add(path, cap);
+      }
+      m.resolve_and_compare(/*bit_equal=*/false);
+      if (::testing::Test::HasFatalFailure()) return;
+      EXPECT_GT(m.agg.aggregation().collapse(), 1.5)
+          << "aggregation never engaged on " << f->name();
+
+      // Fail a couple of links and re-solve.
+      for (int i = 0; i < 2; ++i) {
+        const LinkId l{static_cast<LinkId::underlying>(
+            rng.uniform_index(cluster.topo.link_count()))};
+        cluster.topo.set_link_up(l, false);
+      }
+      m.agg.notify_topology_changed();
+      m.ref.notify_topology_changed();
+      m.resolve_and_compare(/*bit_equal=*/false);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---- Aggregation-specific properties --------------------------------------
+
+TEST(MaxMinAggregate, IdenticalFlowsShareOneItemAndSplitExactly) {
+  topo::Topology t;
+  const NodeId a = t.add_node(topo::NodeKind::kTor, "a");
+  const NodeId b = t.add_node(topo::NodeKind::kTor, "b");
+  const LinkId l = t.add_duplex_link(a, b, topo::LinkKind::kFabric,
+                                     Bandwidth::gbps(100), Duration::micros(1))
+                       .forward;
+  IncrementalMaxMin inc{t};
+  std::vector<IncrementalMaxMin::Handle> hs;
+  for (int i = 0; i < 4; ++i) hs.push_back(inc.add_flow({l}, kInf));
+  // Member-weighted accounting: 4 flows re-rated from 1 solver item.
+  EXPECT_EQ(inc.resolve(), 4u);
+  for (const auto h : hs) EXPECT_EQ(inc.rate(h), 25e9);
+  EXPECT_EQ(inc.throughput_on(l), 100e9);
+
+  const auto snap = inc.aggregation();
+  EXPECT_EQ(snap.flows, 4u);
+  EXPECT_EQ(snap.macro_flows, 1u);
+  EXPECT_EQ(snap.multi_member, 1u);
+  EXPECT_EQ(snap.members_max, 4u);
+  EXPECT_EQ(snap.members_p50, 4u);
+  EXPECT_DOUBLE_EQ(snap.collapse(), 4.0);
+  EXPECT_EQ(inc.stats().macros_formed, 1u);
+}
+
+TEST(MaxMinAggregate, CapDivergenceDemotesOutOfTheMacroFlow) {
+  topo::Topology t;
+  const NodeId a = t.add_node(topo::NodeKind::kTor, "a");
+  const NodeId b = t.add_node(topo::NodeKind::kTor, "b");
+  const LinkId l = t.add_duplex_link(a, b, topo::LinkKind::kFabric,
+                                     Bandwidth::gbps(90), Duration::micros(1))
+                       .forward;
+  IncrementalMaxMin inc{t};
+  const auto h0 = inc.add_flow({l}, kInf);
+  const auto h1 = inc.add_flow({l}, kInf);
+  const auto h2 = inc.add_flow({l}, kInf);
+  EXPECT_EQ(inc.resolve(), 3u);
+  EXPECT_EQ(inc.aggregation().macro_flows, 1u);
+
+  // Cap one member below its fair share: it must leave the class and the
+  // other two absorb the slack (max-min: 10 + 40 + 40).
+  inc.set_cap(h2, 10e9);
+  EXPECT_EQ(inc.stats().demotions, 1u);
+  EXPECT_EQ(inc.resolve(), 3u);
+  EXPECT_NEAR(inc.rate(h2), 10e9, 1.0);
+  EXPECT_NEAR(inc.rate(h0), 40e9, 1.0);
+  EXPECT_NEAR(inc.rate(h1), 40e9, 1.0);
+  EXPECT_EQ(inc.aggregation().macro_flows, 2u);
+
+  // Restoring the exact cap re-joins the surviving class.
+  inc.set_cap(h2, kInf);
+  EXPECT_EQ(inc.resolve(), 3u);
+  EXPECT_EQ(inc.aggregation().macro_flows, 1u);
+  EXPECT_NEAR(inc.rate(h0), 30e9, 1.0);
+  EXPECT_NEAR(inc.rate(h2), 30e9, 1.0);
+}
+
+TEST(MaxMinAggregate, DuplicateLinkPathsDrainPerOccurrence) {
+  // A path that crosses the same link twice consumes two shares of it, and
+  // two such flows must aggregate into one weight-2 item with the same
+  // allocation the per-flow engine computes.
+  topo::Topology t;
+  const NodeId a = t.add_node(topo::NodeKind::kTor, "a");
+  const NodeId b = t.add_node(topo::NodeKind::kTor, "b");
+  const LinkId l = t.add_duplex_link(a, b, topo::LinkKind::kFabric,
+                                     Bandwidth::gbps(100), Duration::micros(1))
+                       .forward;
+  IncrementalMaxMin inc{t};
+  ReferenceIncrementalMaxMin ref{t};
+  const auto h0 = inc.add_flow({l, l}, kInf);
+  const auto h1 = inc.add_flow({l, l}, kInf);
+  const auto r0 = ref.add_flow({l, l}, kInf);
+  EXPECT_EQ(inc.resolve(), 2u);
+  ref.resolve();
+  EXPECT_EQ(inc.aggregation().macro_flows, 1u);
+  // 100G / (2 flows x 2 occurrences) = 25G each.
+  EXPECT_NEAR(inc.rate(h0), 25e9, 1.0);
+  EXPECT_NEAR(inc.rate(h1), 25e9, 1.0);
+  EXPECT_NEAR(ref.rate(r0), 50e9, 1.0);  // oracle sanity: alone it gets 50
+  // Link load counts every traversal: 2 flows x 25G x 2 occurrences.
+  EXPECT_NEAR(inc.throughput_on(l), 100e9, 1.0);
+}
+
+TEST(MaxMinAggregate, LinkLoadsNeverExceedCapacity) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng{seed * 31};
+    ts::RandomNet net = ts::make_random_net(rng, 6, 16);
+    IncrementalMaxMin inc{net.topo};
+    std::vector<std::pair<IncrementalMaxMin::Handle, std::vector<LinkId>>> flows;
+    for (int i = 0; i < 60; ++i) {
+      FlowDemand f = ts::random_flow(net, rng);
+      flows.emplace_back(inc.add_flow(f.path, f.cap_bps), f.path);
+    }
+    inc.resolve();
+    // Conservation per link: sum of member rates over every occurrence.
+    std::vector<double> load(net.topo.link_count(), 0.0);
+    for (const auto& [h, path] : flows) {
+      for (const LinkId l : path) load[l.index()] += inc.rate(h);
+    }
+    for (const LinkId l : net.links) {
+      const double cap = net.topo.link(l).capacity.as_bits_per_sec();
+      EXPECT_LE(load[l.index()], cap * (1.0 + kRelTol) + 1.0)
+          << "link " << l.value() << " overcommitted";
+    }
+    // And per-flow rates never exceed their caps.
+    for (const auto& [h, path] : flows) {
+      EXPECT_LE(inc.rate(h), inc.cap(h) * (1.0 + kRelTol) + 1.0);
+    }
+  }
+}
+
+TEST(MaxMinAggregate, PathIdOverloadsSkipRehashing) {
+  topo::Topology t;
+  const NodeId a = t.add_node(topo::NodeKind::kTor, "a");
+  const NodeId b = t.add_node(topo::NodeKind::kTor, "b");
+  const LinkId l = t.add_duplex_link(a, b, topo::LinkKind::kFabric,
+                                     Bandwidth::gbps(100), Duration::micros(1))
+                       .forward;
+  IncrementalMaxMin inc{t};
+  const PathId p = inc.paths().intern(std::vector<LinkId>{l});
+  const std::uint64_t lookups_before = inc.paths().lookups();
+  const auto h0 = inc.add_flow(p, kInf);
+  const auto h1 = inc.add_flow(p, kInf);
+  EXPECT_EQ(inc.paths().lookups(), lookups_before);  // no rehash on the id path
+  EXPECT_EQ(inc.path_id(h0), p);
+  EXPECT_EQ(inc.resolve(), 2u);
+  EXPECT_EQ(inc.rate(h0), inc.rate(h1));
+  EXPECT_EQ(inc.path(h0), std::vector<LinkId>{l});
+}
+
+}  // namespace
+}  // namespace hpn::flowsim

@@ -70,12 +70,15 @@ void down_node_links(topo::Topology& topo, NodeId node, bool up) {
 /// FlowSession phase: the workload runs *with* the fault schedule. Faults
 /// flip link state and refresh() the solver; repairs flip it back. Oracles:
 /// auditor clean, no flow beats its physical bound, and on fault-free
-/// scenarios every flow completes.
-void run_session_phase(const Scenario& s, std::vector<double>& fct, std::string& out) {
+/// scenarios every flow completes. `mode` selects the solver front-end
+/// (macro-flow aggregated vs per-flow) and `tag` labels any failures.
+void run_session_phase(const Scenario& s, flowsim::Aggregation mode,
+                       const char* tag, std::vector<double>& fct,
+                       std::string& out) {
   Materialized m = materialize(s);
   sim::Simulator sim;
   sim.auditor().enable();
-  flowsim::FlowSession session(m.cluster.topo, sim);
+  flowsim::FlowSession session(m.cluster.topo, sim, mode);
 
   fct.assign(m.flows.size(), -1.0);
   sim::Simulator* simp = &sim;
@@ -120,15 +123,49 @@ void run_session_phase(const Scenario& s, std::vector<double>& fct, std::string&
   sim.run();
 
   if (!sim.auditor().ok()) {
-    append_failure(out, "session: " + sim.auditor().report());
+    append_failure(out, std::string(tag) + ": " + sim.auditor().report());
   }
   if (m.faults.empty() && session.active_flows() != 0) {
     std::ostringstream os;
-    os << "session: " << session.active_flows()
+    os << tag << ": " << session.active_flows()
        << " flow(s) never completed on a fault-free scenario";
     append_failure(out, os.str());
   }
-  check_lower_bounds(m, fct, 2e-9, "session", out);
+  check_lower_bounds(m, fct, 2e-9, tag, out);
+}
+
+/// Aggregation differential phase: the session workload + fault schedule
+/// re-runs with macro-flow aggregation disabled (Aggregation::kPerFlow, the
+/// preserved per-flow engine semantics). Both runs model the same max-min
+/// allocation, so the oracles are strict: identical completion sets and
+/// per-flow FCTs within the solver's documented kEps rounding contract
+/// (plus nanosecond event quantization accumulated over reschedules).
+void run_aggregate_phase(const Scenario& s, const std::vector<double>& agg_fct,
+                         std::string& out) {
+  constexpr double kAggRelTol = 1e-6;
+  constexpr double kAggAbsSec = 1e-5;
+  std::vector<double> per_flow_fct;
+  run_session_phase(s, flowsim::Aggregation::kPerFlow, "aggregate[per-flow]",
+                    per_flow_fct, out);
+  for (std::size_t i = 0; i < agg_fct.size(); ++i) {
+    const double a = agg_fct[i];
+    const double p = per_flow_fct[i];
+    if ((a < 0.0) != (p < 0.0)) {
+      std::ostringstream os;
+      os << "aggregate: flow " << i << " completion set mismatch: aggregated "
+         << (a < 0.0 ? "stalled" : "finished") << " but per-flow "
+         << (p < 0.0 ? "stalled" : "finished");
+      append_failure(out, os.str());
+      continue;
+    }
+    if (a < 0.0) continue;  // Stalled by a fault in both runs: no FCT.
+    if (std::abs(a - p) > std::max(kAggAbsSec, kAggRelTol * p)) {
+      std::ostringstream os;
+      os << "aggregate: flow " << i << " fct diverges beyond the solver "
+         << "tolerance: aggregated=" << a << " s vs per-flow=" << p << " s";
+      append_failure(out, os.str());
+    }
+  }
 }
 
 /// BGP phase: originate host routes, replay the fault schedule as
@@ -437,8 +474,10 @@ void run_pdes_phase(const Scenario& s, int shards, std::string& out) {
 RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   std::string failure;
   std::vector<double> session_fct;
-  run_session_phase(scenario, session_fct, failure);
+  run_session_phase(scenario, flowsim::Aggregation::kMacroFlows, "session",
+                    session_fct, failure);
   run_bgp_phase(scenario, options, failure);
+  if (options.aggregate) run_aggregate_phase(scenario, session_fct, failure);
   if (options.shards >= 2) run_pdes_phase(scenario, options.shards, failure);
 
   if (scenario.faults.empty()) {

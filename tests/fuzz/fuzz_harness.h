@@ -37,6 +37,11 @@ struct RunOptions {
   /// shard's InvariantAuditor armed. The merged completion CSV and trace
   /// must match the serial reference byte-for-byte.
   int shards = 0;
+  /// Aggregation differential phase: the session phase (macro-flow
+  /// aggregated solver) re-runs with Aggregation::kPerFlow — the preserved
+  /// per-flow engine semantics — and the two runs must complete the same
+  /// flow set with per-flow FCTs inside a tight tolerance band.
+  bool aggregate = false;
 };
 
 struct RunResult {

@@ -4,6 +4,7 @@
 //   hpnsim_fuzz --replay path/to/repro.scenario [--expect-clean]
 //   hpnsim_fuzz --runs 120 --jobs 8 --csv sweep.csv
 //   hpnsim_fuzz --runs 250 --shards 4          # + PDES differential phase
+//   hpnsim_fuzz --runs 250 --aggregate         # + macro-flow vs per-flow phase
 //
 // Scenario i draws from seed `master ^ golden*(i+1)`, so results are a
 // function of (--seed, --runs) alone. Runs execute on an exec::RunnerPool
@@ -40,6 +41,7 @@ struct Args {
   std::string replay;
   std::string topology;  ///< Force every scenario onto one topology kind.
   int shards = 0;        ///< >= 2 arms the PDES differential phase.
+  bool aggregate = false;  ///< Arms the aggregated-vs-per-flow session phase.
   bool expect_clean = false;
   bool ok = true;
 };
@@ -72,13 +74,15 @@ Args parse_args(int argc, char** argv) {
       a.topology = value();
     } else if (flag == "--shards") {
       a.shards = std::atoi(value());
+    } else if (flag == "--aggregate") {
+      a.aggregate = true;
     } else if (flag == "--expect-clean") {
       a.expect_clean = true;
     } else {
       std::cerr << "unknown flag " << flag << "\n"
                 << "usage: hpnsim_fuzz [--runs N] [--jobs N] [--seed S] "
-                   "[--topology KIND] [--shards N] [--out DIR] [--csv FILE] "
-                   "[--replay FILE [--expect-clean]]\n";
+                   "[--topology KIND] [--shards N] [--aggregate] [--out DIR] "
+                   "[--csv FILE] [--replay FILE [--expect-clean]]\n";
       a.ok = false;
     }
   }
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
   if (!args.ok) return 2;
   hpn::fuzz::RunOptions run;
   run.shards = args.shards;
+  run.aggregate = args.aggregate;
   if (!args.replay.empty()) return replay_file(args.replay, args.expect_clean, run);
 
   hpn::fuzz::SweepOptions opts;
