@@ -3,6 +3,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,9 +27,12 @@ inline constexpr const char* kResultsDir = "results";
 ///                    run {1, N} instead of their default ladder; results
 ///                    are byte-identical at any shard count — the flag
 ///                    trades wall time, never output)
+///   --csv <path>     write the result CSV to an explicit file instead of
+///                    the default results/<bench-name>.csv
 struct Args {
   bool smoke = false;
   std::string trace_path;
+  std::string csv_path;
   int jobs = 1;
   int shards = 0;  ///< 0 = the bench's default shard ladder.
 
@@ -39,6 +43,8 @@ struct Args {
         a.smoke = true;
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         a.trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        a.csv_path = argv[++i];
       } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
         a.jobs = std::atoi(argv[++i]);
         if (a.jobs < 1) a.jobs = 1;
@@ -71,6 +77,23 @@ inline void emit(const metrics::Table& table, const std::string& csv_name) {
   table.print(std::cout);
   const std::string path = table.save_csv(kResultsDir, csv_name);
   std::cout << "[csv] " << path << "\n";
+}
+
+/// emit() honouring --csv: an explicit path overrides results/<name>.csv.
+inline void emit(const metrics::Table& table, const std::string& csv_name,
+                 const Args& args) {
+  if (args.csv_path.empty()) {
+    emit(table, csv_name);
+    return;
+  }
+  table.print(std::cout);
+  std::ofstream os(args.csv_path);
+  if (os.good()) {
+    table.write_csv(os);
+    std::cout << "[csv] " << args.csv_path << "\n";
+  } else {
+    std::cout << "[csv] failed to write " << args.csv_path << "\n";
+  }
 }
 
 /// Export the tracer to `args.trace_path` if set (after the run finished).

@@ -18,7 +18,7 @@ struct LocalityResult {
   double avg_segments = 0.0;
 };
 
-LocalityResult replay(int hosts_per_segment, int segments) {
+LocalityResult replay(int hosts_per_segment, int segments, int num_jobs) {
   auto cfg = topo::HpnConfig::tiny();
   cfg.hosts_per_segment = hosts_per_segment;
   cfg.segments_per_pod = segments;
@@ -31,7 +31,7 @@ LocalityResult replay(int hosts_per_segment, int segments) {
   LocalityResult res;
   double seg_sum = 0.0;
   std::vector<JobId> running;
-  for (int i = 0; i < 1'000; ++i) {
+  for (int i = 0; i < num_jobs; ++i) {
     const int gpus = sizes.sample_gpus();
     auto p = sched.allocate(gpus);
     if (!p.has_value()) {
@@ -51,25 +51,38 @@ LocalityResult replay(int hosts_per_segment, int segments) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("§3 / Fig 6 — job locality from segment size",
                 "HPN's 1K-GPU segments keep 96.3% of production jobs inside a single "
                 "segment (one switch hop); DCN+'s 128-GPU segments cannot");
 
-  // Both shapes expose 4096 active GPUs total.
-  const LocalityResult hpn = replay(/*hosts=*/128, /*segments=*/4);
-  const LocalityResult dcn = replay(/*hosts=*/16, /*segments=*/32);
+  // Both shapes expose 4096 active GPUs total; each shape replays the same
+  // seeded trace independently, so the two rows parallelise across --jobs.
+  const int num_jobs = args.smoke ? 100 : 1'000;
+  struct Shape {
+    const char* label;
+    int hosts, segments;
+  };
+  const std::vector<Shape> shapes = {{"HPN: 1024 GPUs", 128, 4},
+                                     {"DCN+: 128 GPUs", 16, 32}};
+  const auto results = bench::sweep(shapes, args.jobs, [&](const Shape& sh) {
+    return replay(sh.hosts, sh.segments, num_jobs);
+  });
+  const LocalityResult& hpn = results[0];
+  const LocalityResult& dcn = results[1];
 
-  metrics::Table t{"1000-job production trace (Fig 6 size distribution)"};
+  metrics::Table t{std::to_string(num_jobs) +
+                   "-job production trace (Fig 6 size distribution)"};
   t.columns({"segment size", "jobs_placed", "single_segment_fraction", "avg_segments_per_job"});
-  t.add_row({"HPN: 1024 GPUs", std::to_string(hpn.placed),
+  t.add_row({shapes[0].label, std::to_string(hpn.placed),
              metrics::Table::percent(static_cast<double>(hpn.single_segment) / hpn.placed, 1),
              metrics::Table::num(hpn.avg_segments, 2)});
-  t.add_row({"DCN+: 128 GPUs", std::to_string(dcn.placed),
+  t.add_row({shapes[1].label, std::to_string(dcn.placed),
              metrics::Table::percent(static_cast<double>(dcn.single_segment) / dcn.placed, 1),
              metrics::Table::num(dcn.avg_segments, 2)});
-  bench::emit(t, "sec3_job_locality");
+  bench::emit(t, "sec3_job_locality", args);
 
   std::cout << "\npaper: 96.3% of jobs < 1K GPUs -> single-segment on HPN; the Fig 15 "
                "job needed 19 DCN+ segments but only 3 HPN segments\n";

@@ -19,7 +19,7 @@ struct LatencyReport {
   int completed = 0;
 };
 
-LatencyReport run(bool training, bool checkpoint_storm) {
+LatencyReport run(bool training, bool checkpoint_storm, bool smoke) {
   auto cfg = topo::HpnConfig::tiny();
   cfg.segments_per_pod = 1;
   cfg.hosts_per_segment = 16;
@@ -58,9 +58,9 @@ LatencyReport run(bool training, bool checkpoint_storm) {
     st.checkpoint_write(hosts, storage, DataSize::gigabytes(240), nullptr);
   }
   if (training) {
-    job->run_iterations(10);  // drives the simulator ~3s
+    job->run_iterations(smoke ? 3 : 10);  // ~0.3s/iteration of simulated time
   } else {
-    s.run_until(TimePoint::origin() + Duration::seconds(3.0));
+    s.run_until(TimePoint::origin() + Duration::seconds(smoke ? 0.9 : 3.0));
   }
   svc.stop();
 
@@ -75,24 +75,35 @@ LatencyReport run(bool training, bool checkpoint_storm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpn;
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("§8 — inference on the frontend under mixed deployment",
                 "physically decoupled frontend: backend training cannot perturb "
                 "serving latency; only frontend-sharing storage traffic can");
 
   metrics::Table t{"open-loop inference, 800 req/s over 8 serving hosts"};
   t.columns({"cluster state", "p50_ms", "p99_ms", "completed"});
-  const LatencyReport idle = run(false, false);
-  const LatencyReport trained = run(true, false);
-  const LatencyReport stormed = run(false, true);
+  // The three cluster states are independent simulations — sweep them on
+  // the RunnerPool; rows are assembled in case order so the table and CSV
+  // stay byte-identical at any --jobs.
+  struct State {
+    bool training, storm;
+  };
+  const std::vector<State> states = {{false, false}, {true, false}, {false, true}};
+  const auto reports = bench::sweep(states, args.jobs, [&](const State& st) {
+    return run(st.training, st.storm, args.smoke);
+  });
+  const LatencyReport& idle = reports[0];
+  const LatencyReport& trained = reports[1];
+  const LatencyReport& stormed = reports[2];
   t.add_row({"idle", metrics::Table::num(idle.p50_ms, 1), metrics::Table::num(idle.p99_ms, 1),
              std::to_string(idle.completed)});
   t.add_row({"training on backend", metrics::Table::num(trained.p50_ms, 1),
              metrics::Table::num(trained.p99_ms, 1), std::to_string(trained.completed)});
   t.add_row({"checkpoint storm on frontend", metrics::Table::num(stormed.p50_ms, 1),
              metrics::Table::num(stormed.p99_ms, 1), std::to_string(stormed.completed)});
-  bench::emit(t, "sec8_inference");
+  bench::emit(t, "sec8_inference", args);
 
   std::cout << "\ntraining impact on p50: "
             << metrics::Table::percent(trained.p50_ms / idle.p50_ms - 1.0, 2)

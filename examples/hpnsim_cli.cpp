@@ -21,6 +21,15 @@
 //                                          observables against the 1-shard
 //                                          serial reference and reports
 //                                          window/message/crossing stats
+//   hpnsim cluster [--policy random|locality|frag-min] [--seed S]
+//                  [--jobs-count N] [--faults N] [--trace out.json]
+//                                          multi-tenant cluster mode: replay
+//                                          a seeded job-arrival trace (mixed
+//                                          training + inference) on one
+//                                          shared fabric under a placement
+//                                          policy; prints per-job JCTs and
+//                                          the run summary (same build
+//                                          flags scale the fabric)
 //
 // `--trace <path>` works on any command that runs the simulator; a `.json`
 // suffix selects Chrome trace_event format (open in chrome://tracing or
@@ -38,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_sim.h"
 #include "common/rng.h"
 #include "ctrl/fabric_controller.h"
 #include "exec/runner_pool.h"
@@ -74,10 +84,20 @@ struct Options {
   std::string trace_path;
   int jobs = 1;
   int shards = 4;  ///< PDES shard count for `pdes`.
+  // `cluster` command. Scale flags override the ClusterConfig defaults only
+  // when explicitly passed.
+  std::string policy = "locality";
+  std::uint64_t seed = 2024;
+  int jobs_count = 16;
+  int faults = 0;
+  bool segments_set = false;
+  bool hosts_set = false;
+  bool pods_set = false;
 };
 
 void usage() {
-  std::cout << "usage: hpnsim <build|trace|probe|scale|failover|sweep|pdes> [options]\n"
+  std::cout << "usage: hpnsim <build|trace|probe|scale|failover|sweep|pdes|cluster>"
+               " [options]\n"
             << "  --arch hpn|dcn|fattree   architecture (default hpn)\n"
             << "  --fabric <name>          fabric strategy from the registry:\n"
             << "                           " << fabric::fabric_names() << "\n"
@@ -90,7 +110,9 @@ void usage() {
             << "  --shards N               PDES shard count for `pdes`\n"
             << "                           (default 4; observables are\n"
             << "                           byte-identical at any N)\n"
-            << "  trace/probe: <src_rank> <dst_rank> [--sport P]\n";
+            << "  trace/probe: <src_rank> <dst_rank> [--sport P]\n"
+            << "  cluster: --policy random|locality|frag-min  placement policy\n"
+            << "           --seed S --jobs-count N --faults N  trace knobs\n";
 }
 
 Options parse(int argc, char** argv) {
@@ -113,10 +135,25 @@ Options parse(int argc, char** argv) {
       o.fabric = argv[++i];
     } else if (a == "--segments") {
       next_int(o.segments);
+      o.segments_set = true;
     } else if (a == "--hosts") {
       next_int(o.hosts);
+      o.hosts_set = true;
     } else if (a == "--pods") {
       next_int(o.pods);
+      o.pods_set = true;
+    } else if (a == "--policy" && i + 1 < argc) {
+      o.policy = argv[++i];
+    } else if (a == "--seed") {
+      int v = 0;
+      next_int(v);
+      o.seed = static_cast<std::uint64_t>(v);
+    } else if (a == "--jobs-count") {
+      next_int(o.jobs_count);
+      if (o.jobs_count < 1) throw ConfigError{"--jobs-count must be >= 1"};
+    } else if (a == "--faults") {
+      next_int(o.faults);
+      if (o.faults < 0) o.faults = 0;
     } else if (a == "--no-dual-tor") {
       o.dual_tor = false;
     } else if (a == "--no-dual-plane") {
@@ -473,6 +510,53 @@ int cmd_pdes(const Options& o) {
   return 0;
 }
 
+int cmd_cluster(const Options& o) {
+  cluster::ClusterConfig cfg;
+  if (!o.fabric.empty()) cfg.fabric = o.fabric;
+  if (o.segments_set) cfg.scale.segments_per_pod = o.segments;
+  if (o.hosts_set) cfg.scale.hosts_per_segment = o.hosts;
+  if (o.pods_set) cfg.scale.pods = o.pods;
+  const auto policy = cluster::policy_from_string(o.policy);
+  if (!policy) {
+    std::cerr << "unknown --policy '" << o.policy << "' (" << cluster::policy_names()
+              << ")\n";
+    return 1;
+  }
+  cfg.policy = *policy;
+  cfg.trace.seed = o.seed;
+  cfg.trace.jobs = o.jobs_count;
+  cfg.faults = o.faults;
+  cfg.trace_path = o.trace_path;
+
+  const cluster::ClusterReport report = cluster::run_cluster(cfg);
+
+  metrics::Table t{"multi-tenant cluster — " + std::string{cluster::to_string(*policy)} +
+                   ", seed " + std::to_string(o.seed)};
+  t.columns({"job", "kind", "arrival_s", "start_s", "jct_s", "hosts", "segments",
+             "iters", "restarts", "outcome"});
+  for (const auto& j : report.jobs) {
+    t.add_row({std::to_string(j.id), std::string{cluster::to_string(j.kind)},
+               metrics::Table::num(j.arrival.as_seconds(), 3),
+               metrics::Table::num(j.start.as_seconds(), 3),
+               metrics::Table::num(j.jct().as_seconds(), 3), std::to_string(j.hosts),
+               std::to_string(j.segments), std::to_string(j.iterations),
+               std::to_string(j.restarts), j.aborted ? "ABORTED" : "finished"});
+  }
+  t.print(std::cout);
+  std::cout << "utilization " << metrics::Table::percent(report.utilization, 1)
+            << ", mean fragmentation " << metrics::Table::num(report.mean_fragmentation, 3)
+            << ", crashes " << report.crashes << " ($"
+            << metrics::Table::num(report.crash_cost_dollars, 2) << "), makespan "
+            << metrics::Table::num(report.finished_at.as_seconds(), 3) << "s\n"
+            << "training mean JCT "
+            << metrics::Table::num(report.mean_jct_s(cluster::JobKind::kTraining), 3)
+            << "s, inference mean JCT "
+            << metrics::Table::num(report.mean_jct_s(cluster::JobKind::kInference), 3)
+            << "s\n";
+  if (!cfg.trace_path.empty()) std::cout << "wrote " << cfg.trace_path << "\n";
+  return 0;
+}
+
 int cmd_scale() {
   std::cout << "Table 2 — scale mechanism chain:\n";
   for (const auto& s : topo::scale_mechanisms()) {
@@ -500,6 +584,7 @@ int main(int argc, char** argv) {
     if (o.command == "failover") return cmd_failover(o);
     if (o.command == "sweep") return cmd_sweep(o);
     if (o.command == "pdes") return cmd_pdes(o);
+    if (o.command == "cluster") return cmd_cluster(o);
     usage();
     return 1;
   } catch (const std::exception& e) {

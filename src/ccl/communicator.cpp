@@ -158,7 +158,10 @@ void Communicator::rail_rings(int steps, DataSize step_bytes, DoneFn done) {
                        [this, alive = alive_, flows_left, sync_cost, rings_left,
                         shared_done] {
                          if (!*alive || --*flows_left > 0) return;
-                         sim_->schedule_after(sync_cost, [rings_left, shared_done] {
+                         // `alive` rides along: shared_done may re-enter a
+                         // pipeline whose next stage touches this object.
+                         sim_->schedule_after(sync_cost, [alive, rings_left, shared_done] {
+                           if (!*alive) return;
                            if (--*rings_left == 0) (*shared_done)();
                          });
                        });
@@ -259,20 +262,24 @@ void Communicator::all_reduce_tree(DataSize per_gpu, DoneFn done) {
   const int depth = tree_depth();
 
   std::vector<StagePipeline::StageFn> stages;
-  stages.push_back([this, intra_bytes](int, std::function<void()> next) {
+  stages.push_back([this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+    if (!*alive) return;
     intra_phase(intra_bytes, /*up=*/true, std::move(next));
   });
   for (int level = depth - 1; level >= 0; --level) {  // reduce: deepest first
-    stages.push_back([this, level, edge_bytes](int, std::function<void()> next) {
+    stages.push_back([this, alive = alive_, level, edge_bytes](int, std::function<void()> next) {
+      if (!*alive) return;
       tree_wave_level(level, /*up=*/true, edge_bytes, std::move(next));
     });
   }
   for (int level = 0; level < depth; ++level) {  // broadcast: root outward
-    stages.push_back([this, level, edge_bytes](int, std::function<void()> next) {
+    stages.push_back([this, alive = alive_, level, edge_bytes](int, std::function<void()> next) {
+      if (!*alive) return;
       tree_wave_level(level, /*up=*/false, edge_bytes, std::move(next));
     });
   }
-  stages.push_back([this, intra_bytes](int, std::function<void()> next) {
+  stages.push_back([this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+    if (!*alive) return;
     intra_phase(intra_bytes, /*up=*/false, std::move(next));
   });
   StagePipeline::create(std::move(stages), chunks, std::move(done))->start();
@@ -288,12 +295,14 @@ void Communicator::broadcast(DataSize payload, DoneFn done) {
 
   std::vector<StagePipeline::StageFn> stages;
   for (int level = 0; level < depth; ++level) {
-    stages.push_back([this, level, edge_bytes](int, std::function<void()> next) {
+    stages.push_back([this, alive = alive_, level, edge_bytes](int, std::function<void()> next) {
+      if (!*alive) return;
       tree_wave_level(level, /*up=*/false, edge_bytes, std::move(next));
     });
   }
   // Rails each carried 1/8 of the payload; hosts re-assemble over NVLink.
-  stages.push_back([this, intra_bytes](int, std::function<void()> next) {
+  stages.push_back([this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+    if (!*alive) return;
     intra_phase(intra_bytes, /*up=*/false, std::move(next));
   });
   StagePipeline::create(std::move(stages), chunks, std::move(done))->start();
@@ -310,11 +319,13 @@ void Communicator::reduce(DataSize payload, DoneFn done) {
   const int depth = tree_depth();
 
   std::vector<StagePipeline::StageFn> stages;
-  stages.push_back([this, intra_bytes](int, std::function<void()> next) {
+  stages.push_back([this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+    if (!*alive) return;
     intra_phase(intra_bytes, /*up=*/true, std::move(next));
   });
   for (int level = depth - 1; level >= 0; --level) {
-    stages.push_back([this, level, edge_bytes](int, std::function<void()> next) {
+    stages.push_back([this, alive = alive_, level, edge_bytes](int, std::function<void()> next) {
+      if (!*alive) return;
       tree_wave_level(level, /*up=*/true, edge_bytes, std::move(next));
     });
   }
@@ -324,7 +335,8 @@ void Communicator::reduce(DataSize payload, DoneFn done) {
 void Communicator::barrier(DoneFn done) {
   // Minimal reduce + broadcast: one cache line's worth per edge.
   auto shared_done = std::make_shared<DoneFn>(std::move(done));
-  reduce(DataSize::bytes(64), [this, shared_done] {
+  reduce(DataSize::bytes(64), [this, alive = alive_, shared_done] {
+    if (!*alive) return;
     broadcast(DataSize::bytes(64), [shared_done] { (*shared_done)(); });
   });
 }
@@ -345,13 +357,16 @@ void Communicator::all_reduce(DataSize per_gpu, DoneFn done) {
 
   auto pipeline = StagePipeline::create(
       {
-          [this, intra_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             intra_phase(intra_bytes, /*up=*/true, std::move(next));
           },
-          [this, hosts, step_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, hosts, step_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             rail_rings(2 * (hosts - 1), step_bytes, std::move(next));
           },
-          [this, intra_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             intra_phase(intra_bytes, /*up=*/false, std::move(next));
           },
       },
@@ -371,10 +386,12 @@ void Communicator::reduce_scatter(DataSize per_gpu, DoneFn done) {
 
   auto pipeline = StagePipeline::create(
       {
-          [this, intra_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             intra_phase(intra_bytes, /*up=*/true, std::move(next));
           },
-          [this, hosts, step_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, hosts, step_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             rail_rings(hosts - 1, step_bytes, std::move(next));
           },
       },
@@ -396,10 +413,12 @@ void Communicator::all_gather(DataSize gathered, DoneFn done) {
 
   auto pipeline = StagePipeline::create(
       {
-          [this, hosts, step_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, hosts, step_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             rail_rings(hosts - 1, step_bytes, std::move(next));
           },
-          [this, intra_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, intra_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             auto remaining = std::make_shared<int>(2);
             auto shared = std::make_shared<std::function<void()>>(std::move(next));
             const auto arrive = [remaining, shared] {
@@ -427,7 +446,8 @@ void Communicator::multi_all_reduce(DataSize per_gpu, DoneFn done) {
 
   auto pipeline = StagePipeline::create(
       {
-          [this, hosts, step_bytes](int, std::function<void()> next) {
+          [this, alive = alive_, hosts, step_bytes](int, std::function<void()> next) {
+            if (!*alive) return;
             rail_rings(2 * (hosts - 1), step_bytes, std::move(next));
           },
       },

@@ -117,6 +117,20 @@ const std::vector<ConnId>& ConnectionManager::establish(int src_rank, int dst_ra
     ids.push_back(best.id);
     conns_.push_back(std::move(best));
   }
+  if (ids.empty() && config_.allow_unreachable_establish) {
+    // Destination fully isolated right now (e.g. a fault took both ports of
+    // the rail NIC). Park one dark connection: its path is invalid and its
+    // epoch is current, so senders spin on their unreachable-retry loop and
+    // the first epoch bump after repair makes path_of() re-trace it live.
+    Connection dark;
+    dark.src_rank = src_rank;
+    dark.dst_rank = dst_rank;
+    dark.tuple = tuple_for(src_rank, dst_rank, config_.sport_base);
+    dark.path_epoch = router_->epoch();
+    dark.id = ConnId{static_cast<ConnId::underlying>(conns_.size())};
+    ids.push_back(dark.id);
+    conns_.push_back(std::move(dark));
+  }
   HPN_CHECK_MSG(!ids.empty(), "no path between rank " << src_rank << " and " << dst_rank);
   return by_pair_.emplace(key, std::move(ids)).first->second;
 }

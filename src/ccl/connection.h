@@ -46,6 +46,14 @@ struct ConnectionConfig {
   /// Source-port search budget per pair.
   int sport_search_budget = 256;
   std::uint16_t sport_base = 49152;
+  /// Tolerate establish() while the destination is fully isolated (every
+  /// source port dark, e.g. both ports of a rail NIC failed): instead of
+  /// failing loudly, park one invalid-path connection that path_of()'s
+  /// epoch refresh revives once the fabric heals — senders ride their
+  /// unreachable-retry loop meanwhile. Off by default so permanently
+  /// unroutable pairs (rail-only cross-rail) still fail fast instead of
+  /// retrying forever.
+  bool allow_unreachable_establish = false;
 };
 
 class ConnectionManager {

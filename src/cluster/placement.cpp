@@ -1,0 +1,181 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hpn::cluster {
+
+std::string_view to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kRandom: return "random";
+    case Policy::kLocalityAware: return "locality";
+    case Policy::kFragMin: return "frag-min";
+  }
+  return "unknown";
+}
+
+std::optional<Policy> policy_from_string(std::string_view name) {
+  if (name == "random") return Policy::kRandom;
+  if (name == "locality") return Policy::kLocalityAware;
+  if (name == "frag-min") return Policy::kFragMin;
+  return std::nullopt;
+}
+
+std::string policy_names() { return "random, locality, frag-min"; }
+
+PlacementEngine::PlacementEngine(const topo::Cluster& cluster, Policy policy,
+                                 std::uint64_t seed)
+    : cluster_{&cluster}, policy_{policy}, seed_{seed} {
+  std::map<std::pair<int, int>, Segment> by_key;
+  for (const topo::Host& h : cluster.hosts) {
+    if (h.backup) continue;  // hot spares are not schedulable (§5.1)
+    Segment& s = by_key[{h.pod, h.segment}];
+    s.pod = h.pod;
+    s.segment = h.segment;
+    s.free.push_back(h.index);
+  }
+  for (auto& [key, seg] : by_key) {
+    schedulable_ += static_cast<int>(seg.free.size());
+    segments_.push_back(std::move(seg));
+  }
+}
+
+std::optional<Allocation> PlacementEngine::allocate(int job_id, int hosts_needed) {
+  HPN_CHECK(hosts_needed > 0);
+  if (hosts_needed > free_hosts()) return std::nullopt;
+  switch (policy_) {
+    case Policy::kRandom:
+      return allocate_random(job_id, hosts_needed);
+    case Policy::kLocalityAware:
+      return allocate_segment_affine(hosts_needed, /*tightest=*/false);
+    case Policy::kFragMin:
+      return allocate_segment_affine(hosts_needed, /*tightest=*/true);
+  }
+  return std::nullopt;
+}
+
+std::optional<Allocation> PlacementEngine::allocate_random(int job_id, int hosts_needed) {
+  // One flat free pool; the draw stream is salted with the job id so the
+  // picks for job k do not depend on how many draws earlier jobs consumed.
+  std::vector<int> pool;
+  for (const Segment& s : segments_) pool.insert(pool.end(), s.free.begin(), s.free.end());
+  std::sort(pool.begin(), pool.end());
+  Rng rng{detail::splitmix64_mix(seed_ ^ (static_cast<std::uint64_t>(job_id) << 20))};
+
+  // Hosts stay in draw order: ranks are assigned in allocation order, so a
+  // scattered draw means ring neighbors land in different segments — the
+  // interference cost random placement actually pays (§3).
+  Allocation out;
+  for (int i = 0; i < hosts_needed; ++i) {
+    const std::size_t pick = rng.uniform_index(pool.size());
+    out.hosts.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  std::vector<std::pair<int, int>> segs;
+  for (const int h : out.hosts) {
+    const topo::Host& host = cluster_->hosts.at(static_cast<std::size_t>(h));
+    segs.emplace_back(host.pod, host.segment);
+    for (Segment& s : segments_) {
+      if (s.pod == host.pod && s.segment == host.segment) {
+        s.free.erase(std::find(s.free.begin(), s.free.end(), h));
+        break;
+      }
+    }
+  }
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  out.segments_spanned = static_cast<int>(segs.size());
+  return out;
+}
+
+std::optional<Allocation> PlacementEngine::allocate_segment_affine(int hosts_needed,
+                                                                   bool tightest) {
+  // Pass 1: a single segment that fits the whole job. Locality-aware takes
+  // the *emptiest* such segment (keeps every segment's headroom balanced);
+  // frag-min takes the *tightest* (smallest leftover preserves large holes).
+  Segment* best = nullptr;
+  for (Segment& s : segments_) {
+    if (static_cast<int>(s.free.size()) < hosts_needed) continue;
+    if (best == nullptr) {
+      best = &s;
+    } else if (tightest ? s.free.size() < best->free.size()
+                        : s.free.size() > best->free.size()) {
+      best = &s;
+    }
+  }
+  if (best != nullptr) {
+    Allocation out;
+    out.hosts.assign(best->free.begin(), best->free.begin() + hosts_needed);
+    best->free.erase(best->free.begin(), best->free.begin() + hosts_needed);
+    out.segments_spanned = 1;
+    return out;
+  }
+  return spill(hosts_needed);
+}
+
+std::optional<Allocation> PlacementEngine::spill(int hosts_needed) {
+  // Fullest-first minimizes the number of segments the job spans.
+  std::vector<Segment*> order;
+  for (Segment& s : segments_) {
+    if (!s.free.empty()) order.push_back(&s);
+  }
+  std::stable_sort(order.begin(), order.end(), [](const Segment* a, const Segment* b) {
+    return a->free.size() > b->free.size();
+  });
+  int remaining = hosts_needed;
+  std::vector<std::pair<Segment*, int>> takes;
+  for (Segment* s : order) {
+    if (remaining == 0) break;
+    const int take = std::min<int>(remaining, static_cast<int>(s->free.size()));
+    takes.emplace_back(s, take);
+    remaining -= take;
+  }
+  if (remaining > 0) return std::nullopt;
+
+  Allocation out;
+  for (auto& [s, take] : takes) {
+    out.hosts.insert(out.hosts.end(), s->free.begin(), s->free.begin() + take);
+    s->free.erase(s->free.begin(), s->free.begin() + take);
+  }
+  std::sort(out.hosts.begin(), out.hosts.end());
+  out.segments_spanned = static_cast<int>(takes.size());
+  return out;
+}
+
+void PlacementEngine::release(const std::vector<int>& hosts) {
+  for (const int h : hosts) {
+    const topo::Host& host = cluster_->hosts.at(static_cast<std::size_t>(h));
+    for (Segment& s : segments_) {
+      if (s.pod == host.pod && s.segment == host.segment) {
+        const auto at = std::lower_bound(s.free.begin(), s.free.end(), h);
+        HPN_CHECK_MSG(at == s.free.end() || *at != h, "double release");
+        s.free.insert(at, h);
+        break;
+      }
+    }
+  }
+}
+
+int PlacementEngine::free_hosts() const {
+  int total = 0;
+  for (const Segment& s : segments_) total += static_cast<int>(s.free.size());
+  return total;
+}
+
+int PlacementEngine::largest_free_block() const {
+  int best = 0;
+  for (const Segment& s : segments_) best = std::max(best, static_cast<int>(s.free.size()));
+  return best;
+}
+
+double PlacementEngine::fragmentation() const {
+  const int total = free_hosts();
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) / static_cast<double>(total);
+}
+
+}  // namespace hpn::cluster

@@ -1,0 +1,157 @@
+#include "cluster/tenant.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace hpn::cluster {
+
+TenantTrainingJob::TenantTrainingJob(const topo::Cluster& cluster,
+                                     sim::Simulator& simulator,
+                                     flowsim::FlowSession& session,
+                                     ccl::ConnectionManager& connections,
+                                     workload::PlacementPlan plan,
+                                     workload::ModelPreset model, TenantOptions options,
+                                     std::uint32_t job_tag)
+    : cluster_{&cluster},
+      sim_{&simulator},
+      session_{&session},
+      plan_{std::move(plan)},
+      model_{model},
+      options_{options},
+      job_tag_{job_tag} {
+  HPN_CHECK(options_.dp_overlap >= 0.0 && options_.dp_overlap <= 1.0);
+  for (const auto& tp_group : plan_.tp_groups) {
+    tp_comms_.push_back(std::make_unique<ccl::Communicator>(
+        cluster, simulator, session, connections, tp_group, options_.ccl));
+  }
+  for (const auto& dp_group : plan_.dp_groups) {
+    dp_comms_.push_back(std::make_unique<ccl::Communicator>(
+        cluster, simulator, session, connections, dp_group, options_.ccl));
+  }
+  std::vector<int> all_ranks;
+  for (const int h : plan_.hosts) {
+    for (int r = 0; r < cluster.gpus_per_host; ++r) {
+      all_ranks.push_back(h * cluster.gpus_per_host + r);
+    }
+  }
+  pp_comm_ = std::make_unique<ccl::Communicator>(cluster, simulator, session, connections,
+                                                 all_ranks, options_.ccl);
+}
+
+TenantTrainingJob::~TenantTrainingJob() {
+  *alive_ = false;
+  if (watchdog_ != sim::kInvalidEvent) sim_->cancel(watchdog_);
+}
+
+void TenantTrainingJob::run(int iterations, DoneFn on_done) {
+  HPN_CHECK_MSG(!running_, "job already running");
+  HPN_CHECK(iterations > 0);
+  running_ = true;
+  remaining_ = iterations;
+  on_done_ = std::move(on_done);
+  begin_iteration();
+}
+
+void TenantTrainingJob::begin_iteration() {
+  iter_start_ = sim_->now();
+  const std::uint64_t epoch = epoch_;
+  sim_->trace(metrics::TraceEventKind::kIterationBegin,
+              static_cast<std::uint32_t>(completed_ + 1), job_tag_);
+
+  // The watchdog *is* the crash detector: the blocking loop's
+  // `now() > deadline` check has no pump to live in here.
+  watchdog_ = sim_->schedule_at(
+      iter_start_ + model_.compute_per_iteration + options_.comm_timeout,
+      [this, alive = alive_] {
+        if (!*alive) return;
+        watchdog_ = sim::kInvalidEvent;
+        crash();
+      });
+
+  auto pending = std::make_shared<int>(0);
+  // Arrivals from an iteration the watchdog already aborted are stale; the
+  // epoch check drops them (their `pending` is no longer the live one).
+  auto arrive = [this, alive = alive_, pending, epoch] {
+    if (!*alive || epoch != epoch_) return;
+    if (--*pending == 0) finish_iteration();
+  };
+
+  // Phase 1 — compute (forward + backward) with TP AllReduce interleaved.
+  ++*pending;
+  sim_->schedule_after(model_.compute_per_iteration, arrive);
+  for (auto& comm : tp_comms_) {
+    ++*pending;
+    comm->all_reduce(model_.traffic.tp_all_reduce * 0.5, arrive);
+  }
+  // Phase 2 — the backward-phase gradient burst: DP Multi-AllReduce per
+  // stage plus PP boundary traffic, exposed after compute except for the
+  // overlapped share.
+  ++*pending;
+  sim_->schedule_after(model_.compute_per_iteration,
+                       [this, alive = alive_, pending, epoch, arrive] {
+    if (!*alive || epoch != epoch_) return;
+    const DataSize dp_exposed = model_.traffic.dp_all_reduce *
+                                static_cast<double>(model_.dp_rounds_per_iteration) *
+                                (1.0 - options_.dp_overlap);
+    for (auto& comm : dp_comms_) {
+      ++*pending;
+      comm->multi_all_reduce(dp_exposed, arrive);
+    }
+    for (const auto& [src, dst] : plan_.pp_pairs) {
+      ++*pending;
+      pp_comm_->point_to_point(src, dst, model_.traffic.pp_send, arrive);
+      ++*pending;
+      pp_comm_->point_to_point(dst, src, model_.traffic.pp_send, arrive);
+    }
+    if (model_.traffic.moe_all_to_all > DataSize::zero()) {
+      ++*pending;
+      pp_comm_->all_to_all(model_.traffic.moe_all_to_all, /*allow_host_relay=*/true,
+                           arrive);
+    }
+    // Release this chain's own slot LAST: doing it before the collectives
+    // are enqueued lets `pending` hit zero mid-lambda and finish the
+    // iteration without them.
+    arrive();
+  });
+}
+
+void TenantTrainingJob::finish_iteration() {
+  if (watchdog_ != sim::kInvalidEvent) {
+    sim_->cancel(watchdog_);
+    watchdog_ = sim::kInvalidEvent;
+  }
+  ++completed_;
+  --remaining_;
+  sim_->trace(metrics::TraceEventKind::kIterationEnd,
+              static_cast<std::uint32_t>(completed_), job_tag_,
+              (sim_->now() - iter_start_).as_seconds());
+  if (remaining_ > 0) {
+    begin_iteration();
+    return;
+  }
+  running_ = false;
+  DoneFn done = std::move(on_done_);
+  on_done_ = nullptr;
+  if (done) done(/*crashed=*/false);
+}
+
+void TenantTrainingJob::crash() {
+  // NCCL abort: stale the in-flight iteration, then hand control to the
+  // scheduler. The callback may destroy this object — it runs last, and
+  // nothing touches members afterwards.
+  ++epoch_;
+  running_ = false;
+  remaining_ = 0;
+  DoneFn done = std::move(on_done_);
+  on_done_ = nullptr;
+  if (done) done(/*crashed=*/true);
+}
+
+void TenantTrainingJob::on_fabric_change() {
+  for (auto& c : tp_comms_) c->on_fabric_change();
+  for (auto& c : dp_comms_) c->on_fabric_change();
+  pp_comm_->on_fabric_change();
+}
+
+}  // namespace hpn::cluster

@@ -1,0 +1,94 @@
+// Event-driven co-resident training job.
+//
+// train::TrainingJob drives the simulator itself (run_iterations() pumps
+// sim.step() until the iteration settles), which works for exactly one job
+// per simulation. A multi-tenant cluster needs many jobs making progress on
+// one shared Simulator/FlowSession, so TenantTrainingJob replays the same
+// iteration anatomy (§9.1: compute + TP AllReduce, then the backward-phase
+// DP Multi-AllReduce burst + PP boundary traffic) purely through callbacks:
+// the cluster scheduler starts it, the simulator advances it, and a
+// completion (or crash) callback hands control back.
+//
+// Crash detection cannot poll the clock like the blocking loop does, so
+// each iteration arms a watchdog event at start + compute + comm_timeout;
+// if the iteration has not drained by then (collective stalled on an
+// isolated host, §2.3), the watchdog fires the NCCL-abort path and reports
+// a crash for the scheduler to checkpoint-restore + reschedule.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "workload/parallelism.h"
+
+namespace hpn::cluster {
+
+struct TenantOptions {
+  /// Fraction of DP gradient sync hidden under backward compute.
+  double dp_overlap = 0.5;
+  /// Collective timeout: an iteration stalled beyond this crashes the job.
+  Duration comm_timeout = Duration::minutes(2);
+  ccl::CclConfig ccl;
+};
+
+class TenantTrainingJob {
+ public:
+  /// `crashed` is true when the watchdog aborted a stalled iteration.
+  using DoneFn = std::function<void(bool crashed)>;
+
+  /// `job_tag` labels this job's tracer spans (kIterationBegin b-field).
+  TenantTrainingJob(const topo::Cluster& cluster, sim::Simulator& simulator,
+                    flowsim::FlowSession& session, ccl::ConnectionManager& connections,
+                    workload::PlacementPlan plan, workload::ModelPreset model,
+                    TenantOptions options, std::uint32_t job_tag);
+  /// Safe to destroy mid-iteration (the crash-restart path does): pending
+  /// continuations and the watchdog are disarmed; in-flight flows drain in
+  /// the session without touching this object.
+  ~TenantTrainingJob();
+  TenantTrainingJob(const TenantTrainingJob&) = delete;
+  TenantTrainingJob& operator=(const TenantTrainingJob&) = delete;
+
+  /// Run `iterations` more iterations asynchronously; `on_done` fires when
+  /// they all complete or the job crashes. Must not be called while running.
+  void run(int iterations, DoneFn on_done);
+
+  [[nodiscard]] bool running() const { return running_; }
+  /// Iterations completed across all run() calls (restores pass a reduced
+  /// target instead of rolling this back).
+  [[nodiscard]] int completed_iterations() const { return completed_; }
+  [[nodiscard]] const workload::PlacementPlan& plan() const { return plan_; }
+
+  /// Forward fabric changes to in-flight traffic (port failover).
+  void on_fabric_change();
+
+ private:
+  void begin_iteration();
+  void finish_iteration();
+  void crash();
+
+  const topo::Cluster* cluster_;
+  sim::Simulator* sim_;
+  flowsim::FlowSession* session_;
+  workload::PlacementPlan plan_;
+  workload::ModelPreset model_;
+  TenantOptions options_;
+  std::uint32_t job_tag_;
+  std::vector<std::unique_ptr<ccl::Communicator>> tp_comms_;
+  std::vector<std::unique_ptr<ccl::Communicator>> dp_comms_;
+  std::unique_ptr<ccl::Communicator> pp_comm_;  ///< Whole-job, for send/recv.
+
+  bool running_ = false;
+  int completed_ = 0;
+  int remaining_ = 0;
+  DoneFn on_done_;
+  TimePoint iter_start_ = TimePoint::origin();
+  sim::EventId watchdog_ = sim::kInvalidEvent;
+  /// Bumped on crash so arrivals from the aborted iteration are stale.
+  std::uint64_t epoch_ = 0;
+  /// Disarms every pending continuation when the job object dies.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace hpn::cluster

@@ -31,6 +31,8 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kCollectiveEnd: return "collective_end";
     case TraceEventKind::kIterationBegin: return "iteration_begin";
     case TraceEventKind::kIterationEnd: return "iteration_end";
+    case TraceEventKind::kJobBegin: return "job_begin";
+    case TraceEventKind::kJobEnd: return "job_end";
   }
   return "unknown";
 }
@@ -135,21 +137,26 @@ void Tracer::write_chrome_json(std::ostream& os) const {
       case TraceEventKind::kCollectiveBegin:
       case TraceEventKind::kCollectiveEnd:
       case TraceEventKind::kIterationBegin:
-      case TraceEventKind::kIterationEnd: {
+      case TraceEventKind::kIterationEnd:
+      case TraceEventKind::kJobBegin:
+      case TraceEventKind::kJobEnd: {
         const bool begin = ev.kind == TraceEventKind::kCollectiveBegin ||
-                           ev.kind == TraceEventKind::kIterationBegin;
+                           ev.kind == TraceEventKind::kIterationBegin ||
+                           ev.kind == TraceEventKind::kJobBegin;
         const bool iter = ev.kind == TraceEventKind::kIterationBegin ||
                           ev.kind == TraceEventKind::kIterationEnd;
+        const bool job = ev.kind == TraceEventKind::kJobBegin ||
+                         ev.kind == TraceEventKind::kJobEnd;
         os << "{\"name\":\"";
         if (ev.label != nullptr) {
           os << ev.label;
         } else {
-          os << (iter ? "iteration" : "collective");
+          os << (job ? "job" : iter ? "iteration" : "collective");
         }
-        if (iter) os << ' ' << ev.a;
-        os << "\",\"cat\":\"" << (iter ? "train" : "ccl")
+        if (iter || job) os << ' ' << ev.a;
+        os << "\",\"cat\":\"" << (job ? "cluster" : iter ? "train" : "ccl")
            << "\",\"ph\":\"" << (begin ? 'b' : 'e') << "\",\"id\":" << ev.a
-           << ",\"pid\":1,\"tid\":" << (iter ? 1 : 2) << ",\"ts\":";
+           << ",\"pid\":1,\"tid\":" << (job ? 4 : iter ? 1 : 2) << ",\"ts\":";
         put_ts(os, ev.at);
         os << "}";
         break;

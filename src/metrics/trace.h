@@ -54,6 +54,9 @@ enum class TraceEventKind : std::uint8_t {
   // Training iteration spans (train). a = iteration number (1-based).
   kIterationBegin,
   kIterationEnd,  ///< value = iteration wall time in seconds
+  // Cluster-scheduler job spans (cluster). a = job id, b = hosts allocated.
+  kJobBegin,
+  kJobEnd,  ///< value = job completion time (arrival -> finish) in seconds
 };
 
 std::string_view to_string(TraceEventKind kind);

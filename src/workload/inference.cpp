@@ -25,7 +25,12 @@ InferenceService::InferenceService(const topo::Cluster& cluster, sim::Simulator&
   }
 }
 
-InferenceService::~InferenceService() { stop(); }
+InferenceService::~InferenceService() {
+  stop();
+  // Requests may still be in flight (flow completions / compute delays hold
+  // lambdas that point back here); disarm them rather than racing them.
+  *alive_ = false;
+}
 
 void InferenceService::start() {
   HPN_CHECK(!running_);
@@ -71,9 +76,11 @@ void InferenceService::handle_request() {
       Duration::seconds(rng_.exponential(config_.compute_mean.as_seconds()));
   session_->start_flow(
       req_path.links, config_.request_size, Bandwidth::gbps(200),
-      [this, accepted, host_idx, gateway, compute](FlowId) {
+      [this, alive = alive_, accepted, host_idx, gateway, compute](FlowId) {
+        if (!*alive) return;
         // GPU produces the response after `compute`, then streams it back.
-        sim_->schedule_after(compute, [this, accepted, host_idx, gateway] {
+        sim_->schedule_after(compute, [this, alive, accepted, host_idx, gateway] {
+          if (!*alive) return;
           const topo::Host& h = cluster_->hosts.at(static_cast<std::size_t>(host_idx));
           const routing::FiveTuple resp_ft{
               .src_ip = h.frontend_nic.value(),
@@ -85,7 +92,8 @@ void InferenceService::handle_request() {
             return;
           }
           session_->start_flow(resp_path.links, config_.response_size,
-                               Bandwidth::gbps(200), [this, accepted](FlowId) {
+                               Bandwidth::gbps(200), [this, alive, accepted](FlowId) {
+                                 if (!*alive) return;
                                  ++completed_;
                                  latencies_.add((sim_->now() - accepted).as_seconds());
                                });

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -70,6 +71,9 @@ class InferenceService {
   int dropped_ = 0;
   std::size_t rr_ = 0;
   metrics::SampleSet latencies_;
+  /// Disarms in-flight request continuations (request flow -> compute ->
+  /// response flow) when the service is destroyed mid-request.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace hpn::workload

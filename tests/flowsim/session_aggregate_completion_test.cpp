@@ -1,0 +1,171 @@
+// Regression battery for aggregation-aware completion (the macro-flow PR's
+// session-layer gap): when several same-(path, cap) flows collapse into one
+// macro-flow, each member still carries its own residual size, so members
+// with staggered sizes (or staggered starts) must complete one by one at
+// their exact per-flow instants — not in lockstep when the macro-flow's
+// last member drains. Every case runs the same schedule through a
+// kMacroFlows session and a kPerFlow session and requires the completion
+// order and per-flow FCTs to agree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/session.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace hpn::flowsim {
+namespace {
+
+using topo::LinkKind;
+using topo::NodeKind;
+using topo::Topology;
+
+constexpr double kRelTol = 1e-6;
+
+/// One flow of the schedule: start instant, bits, source cap.
+struct PlannedFlow {
+  double start_s = 0.0;
+  double bits = 0.0;
+  double cap_gbps = 10.0;
+};
+
+/// One observed completion, keyed by schedule index.
+struct Completion {
+  std::size_t index = 0;
+  double finish_s = 0.0;
+};
+
+/// Runs `plan` (all flows on `path`) under `mode` and returns completions
+/// in the order the callbacks fired.
+std::vector<Completion> run_plan(const Topology& t, const std::vector<LinkId>& path,
+                                 const std::vector<PlannedFlow>& plan,
+                                 Aggregation mode,
+                                 IncrementalMaxMin::AggregationSnapshot* peak = nullptr) {
+  sim::Simulator s;
+  FlowSession fs{t, s, mode};
+  std::vector<Completion> done;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const PlannedFlow& p = plan[i];
+    s.schedule_at(TimePoint::origin() + Duration::seconds(p.start_s), [&, i, p] {
+      fs.start_flow(path, DataSize::bits(static_cast<std::int64_t>(p.bits)),
+                    Bandwidth::gbps(p.cap_gbps), [&, i](FlowId) {
+                      done.push_back({i, (s.now() - TimePoint::origin()).as_seconds()});
+                    });
+      if (peak != nullptr && fs.active_flows() == plan.size()) {
+        *peak = fs.solver_aggregation();
+      }
+    });
+  }
+  s.run();
+  EXPECT_EQ(fs.active_flows(), 0u);
+  return done;
+}
+
+void expect_same_completions(const std::vector<Completion>& agg,
+                             const std::vector<Completion>& ref) {
+  ASSERT_EQ(agg.size(), ref.size());
+  for (std::size_t i = 0; i < agg.size(); ++i) {
+    EXPECT_EQ(agg[i].index, ref[i].index) << "completion order diverges at " << i;
+    EXPECT_NEAR(agg[i].finish_s, ref[i].finish_s,
+                std::max(1e-9, kRelTol * ref[i].finish_s))
+        << "flow " << agg[i].index << " FCT diverges";
+  }
+}
+
+class AggregateCompletionTest : public ::testing::Test {
+ protected:
+  Topology t;
+  std::vector<LinkId> path;
+
+  void SetUp() override {
+    const NodeId a = t.add_node(NodeKind::kNic, "a");
+    const NodeId b = t.add_node(NodeKind::kTor, "b");
+    const NodeId c = t.add_node(NodeKind::kNic, "c");
+    path = {t.add_duplex_link(a, b, LinkKind::kAccess, Bandwidth::gbps(1),
+                              Duration::micros(1))
+                .forward,
+            t.add_duplex_link(b, c, LinkKind::kAccess, Bandwidth::gbps(1),
+                              Duration::micros(1))
+                .forward};
+  }
+};
+
+TEST_F(AggregateCompletionTest, StaggeredSizesCompleteIndividually) {
+  // Four same-(path, cap) flows with sizes 0.25/0.5/0.75/1.0 Gbit on a
+  // 1 Gbps path: one macro-flow of four members. Members must drain out one
+  // at a time (4-way share, then 3-way, ...), not all at the last finish.
+  std::vector<PlannedFlow> plan;
+  for (int i = 1; i <= 4; ++i) plan.push_back({0.0, i * 0.25e9, 10.0});
+
+  IncrementalMaxMin::AggregationSnapshot peak;
+  const auto agg = run_plan(t, path, plan, Aggregation::kMacroFlows, &peak);
+  ASSERT_EQ(agg.size(), 4u);
+
+  // The class really formed — otherwise this test exercises nothing.
+  EXPECT_EQ(peak.flows, 4u);
+  EXPECT_EQ(peak.macro_flows, 1u);
+  EXPECT_EQ(peak.members_max, 4u);
+
+  // Smallest-first completion at distinct instants. Analytic schedule on a
+  // 1 Gbps bottleneck: t1 = 4*0.25 = 1s, then 3-way for the next 0.25 Gbit
+  // gap => t2 = 1.75s, t3 = 2.25s, t4 = 2.5s.
+  const double expected[] = {1.0, 1.75, 2.25, 2.5};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(agg[i].index, i) << "members must finish smallest-first";
+    EXPECT_NEAR(agg[i].finish_s, expected[i], kRelTol * expected[i]);
+  }
+
+  const auto ref = run_plan(t, path, plan, Aggregation::kPerFlow);
+  expect_same_completions(agg, ref);
+}
+
+TEST_F(AggregateCompletionTest, StaggeredStartsCompleteIndividually) {
+  // Equal sizes but staggered starts: residuals inside the macro-flow
+  // differ because each member joined at a different instant.
+  std::vector<PlannedFlow> plan;
+  for (int i = 0; i < 4; ++i) plan.push_back({i * 0.1, 1.0e9, 10.0});
+
+  const auto agg = run_plan(t, path, plan, Aggregation::kMacroFlows);
+  ASSERT_EQ(agg.size(), 4u);
+  // Earlier starters hold a head start forever under max-min sharing, so
+  // completions come back in start order at strictly increasing instants.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(agg[i].index, i);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(agg[i].finish_s, agg[i - 1].finish_s + 1e-9)
+        << "members completed in lockstep";
+  }
+
+  const auto ref = run_plan(t, path, plan, Aggregation::kPerFlow);
+  expect_same_completions(agg, ref);
+}
+
+TEST_F(AggregateCompletionTest, FuzzedMixMatchesPerFlowEngine) {
+  // Randomized schedules: clusters of same-cap clones (forming macro-flows)
+  // plus odd-cap singletons, staggered sizes and starts. The aggregated
+  // session must reproduce the per-flow engine's completion order and FCTs.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng{seed};
+    std::vector<PlannedFlow> plan;
+    const int clusters = static_cast<int>(rng.uniform_int(2, 4));
+    for (int c = 0; c < clusters; ++c) {
+      const double cap = rng.bernoulli(0.5) ? 10.0 : 2.0 + c;
+      const int members = static_cast<int>(rng.uniform_int(2, 5));
+      for (int m = 0; m < members; ++m) {
+        plan.push_back({0.05 * static_cast<double>(rng.uniform_int(0, 10)),
+                        1e8 * static_cast<double>(rng.uniform_int(1, 12)), cap});
+      }
+    }
+    const auto agg = run_plan(t, path, plan, Aggregation::kMacroFlows);
+    const auto ref = run_plan(t, path, plan, Aggregation::kPerFlow);
+    expect_same_completions(agg, ref);
+  }
+}
+
+}  // namespace
+}  // namespace hpn::flowsim

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "cluster/cluster_sim.h"
 #include "common/check.h"
 #include "exec/runner_pool.h"
 #include "ctrl/bgp.h"
@@ -469,6 +470,91 @@ void run_pdes_phase(const Scenario& s, int shards, std::string& out) {
   }
 }
 
+/// Jobsmix phase: the scenario's job lines replay through the multi-tenant
+/// cluster scheduler on a small HPN fabric, once per placement policy, with
+/// the InvariantAuditor armed. Oracles:
+///   * every policy's run is auditor-clean;
+///   * a run is a pure function of its config (second run byte-identical);
+///   * job accounting holds (start >= arrival, finish >= start, host counts
+///     positive for placed jobs);
+///   * fault-free runs complete every job with exactly its requested
+///     iterations, identically across policies (scheduler equivalence).
+void run_jobsmix_phase(const Scenario& s, std::string& out) {
+  cluster::ClusterConfig base;
+  base.scale = fabric::FabricScale{/*pods=*/1, /*segments_per_pod=*/2,
+                                   /*hosts_per_segment=*/4, /*gpus_per_host=*/4};
+  base.trace.seed = s.seed;
+  base.audit = true;
+  // Scenario faults double as cluster access flaps (bounded; the phase is
+  // about scheduler reactions, not the fault schedule's details).
+  base.faults = static_cast<int>(std::min<std::size_t>(s.faults.size(), 2));
+  base.fault_down_for = Duration::millis(200);
+  std::vector<cluster::JobSpec> specs;
+  for (const ScenarioJob& j : s.jobs) {
+    cluster::JobSpec spec;
+    spec.kind = cluster::JobKind::kTraining;
+    spec.arrival = TimePoint::origin() + Duration::nanos(j.arrival_ns);
+    spec.hosts = static_cast<int>(j.hosts);  // clamped at admission
+    spec.iterations = static_cast<int>(j.iters);
+    specs.push_back(spec);
+  }
+  std::stable_sort(specs.begin(), specs.end(),
+                   [](const cluster::JobSpec& a, const cluster::JobSpec& b) {
+                     return a.arrival < b.arrival;
+                   });
+  // Ids are assigned in arrival order AFTER the sort, so `specs[id]` is the
+  // spec of job `id` — the accounting oracle below indexes by that.
+  for (std::size_t i = 0; i < specs.size(); ++i) specs[i].id = static_cast<int>(i);
+  base.jobs = specs;
+
+  for (const cluster::Policy policy :
+       {cluster::Policy::kLocalityAware, cluster::Policy::kRandom,
+        cluster::Policy::kFragMin}) {
+    cluster::ClusterConfig cfg = base;
+    cfg.policy = policy;
+    const cluster::ClusterReport r = cluster::run_cluster(cfg);
+    const std::string tag =
+        "jobsmix[" + std::string{cluster::to_string(policy)} + "]";
+    if (!r.audit_report.empty()) {
+      append_failure(out, tag + ": " + r.audit_report);
+    }
+    if (r.jobs.size() != specs.size()) {
+      append_failure(out, tag + ": " + std::to_string(r.jobs.size()) + " of " +
+                              std::to_string(specs.size()) + " jobs accounted for");
+      continue;
+    }
+    for (const cluster::JobStats& js : r.jobs) {
+      if (js.start < js.arrival) {
+        append_failure(out, tag + ": job " + std::to_string(js.id) +
+                                " started before it arrived");
+      }
+      if (!js.aborted && js.finish < js.start) {
+        append_failure(out, tag + ": job " + std::to_string(js.id) +
+                                " finished before it started");
+      }
+      if (!js.aborted && js.hosts <= 0) {
+        append_failure(out, tag + ": job " + std::to_string(js.id) +
+                                " completed with no hosts");
+      }
+      if (base.faults == 0) {
+        const cluster::JobSpec& spec = specs[static_cast<std::size_t>(js.id)];
+        if (js.aborted || js.iterations != spec.iterations) {
+          append_failure(out, tag + ": fault-free job " + std::to_string(js.id) +
+                                  " ran " + std::to_string(js.iterations) + "/" +
+                                  std::to_string(spec.iterations) + " iterations" +
+                                  (js.aborted ? " and aborted" : ""));
+        }
+      }
+    }
+    const cluster::ClusterReport again = cluster::run_cluster(cfg);
+    if (again.jct_csv() != r.jct_csv() ||
+        again.summary_csv_row() != r.summary_csv_row()) {
+      append_failure(out, tag + ": repeated run diverged — scheduler is not a "
+                              "pure function of its config");
+    }
+  }
+}
+
 }  // namespace
 
 RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
@@ -477,6 +563,7 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   run_session_phase(scenario, flowsim::Aggregation::kMacroFlows, "session",
                     session_fct, failure);
   run_bgp_phase(scenario, options, failure);
+  if (!scenario.jobs.empty()) run_jobsmix_phase(scenario, failure);
   if (options.aggregate) run_aggregate_phase(scenario, session_fct, failure);
   if (options.shards >= 2) run_pdes_phase(scenario, options.shards, failure);
 
@@ -547,6 +634,7 @@ SweepResult run_sweep(const SweepOptions& options) {
     const std::uint64_t seed = sweep_seed(options.master_seed, static_cast<int>(i));
     Scenario s = random_scenario(seed);
     if (options.only_topology) s.topology = *options.only_topology;
+    if (options.ensure_jobs) ensure_jobs(s);
     const RunResult r = run_scenario(s, options.run);
     RunRecord& rec = records[i];
     rec.ok = r.ok;

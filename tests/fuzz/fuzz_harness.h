@@ -80,6 +80,9 @@ struct SweepOptions {
   /// Workload/fault knobs stay as drawn; materialize() clamps them per
   /// kind, so any knob combination is valid for any kind.
   std::optional<TopologyKind> only_topology;
+  /// Guarantee every drawn scenario carries a job mix (ensure_jobs), so the
+  /// whole sweep runs the cluster-scheduler phase (--jobsmix).
+  bool ensure_jobs = false;
   /// Invoked after each completed run with `done` strictly 1..total.
   /// Calls come from worker threads but are serialized by the sweep, so
   /// the callback needs no locking of its own. Progress reporting only —

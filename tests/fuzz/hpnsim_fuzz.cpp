@@ -42,6 +42,8 @@ struct Args {
   std::string topology;  ///< Force every scenario onto one topology kind.
   int shards = 0;        ///< >= 2 arms the PDES differential phase.
   bool aggregate = false;  ///< Arms the aggregated-vs-per-flow session phase.
+  bool jobsmix = false;  ///< Guarantee a job mix: every scenario runs the
+                         ///< cluster-scheduler phase.
   bool expect_clean = false;
   bool ok = true;
 };
@@ -76,13 +78,15 @@ Args parse_args(int argc, char** argv) {
       a.shards = std::atoi(value());
     } else if (flag == "--aggregate") {
       a.aggregate = true;
+    } else if (flag == "--jobsmix") {
+      a.jobsmix = true;
     } else if (flag == "--expect-clean") {
       a.expect_clean = true;
     } else {
       std::cerr << "unknown flag " << flag << "\n"
                 << "usage: hpnsim_fuzz [--runs N] [--jobs N] [--seed S] "
-                   "[--topology KIND] [--shards N] [--aggregate] [--out DIR] "
-                   "[--csv FILE] [--replay FILE [--expect-clean]]\n";
+                   "[--topology KIND] [--shards N] [--aggregate] [--jobsmix] "
+                   "[--out DIR] [--csv FILE] [--replay FILE [--expect-clean]]\n";
       a.ok = false;
     }
   }
@@ -128,6 +132,7 @@ int main(int argc, char** argv) {
   opts.jobs = args.jobs;
   opts.master_seed = args.seed;
   opts.run = run;
+  opts.ensure_jobs = args.jobsmix;
   if (!args.topology.empty()) {
     const auto kind = hpn::fuzz::topology_kind_from(args.topology);
     if (!kind) {

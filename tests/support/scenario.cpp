@@ -235,6 +235,9 @@ std::string Scenario::to_text() const {
     os << "fault " << to_string(f.kind) << ' ' << f.at_ns << ' ' << f.target << ' '
        << f.down_for_ns << '\n';
   }
+  for (const ScenarioJob& j : jobs) {
+    os << "job " << j.arrival_ns << ' ' << j.hosts << ' ' << j.iters << '\n';
+  }
   os << "end\n";
   return os.str();
 }
@@ -291,6 +294,11 @@ std::optional<Scenario> Scenario::from_text(std::string_view text) {
         return std::nullopt;
       }
       s.faults.push_back(f);
+    } else if (key == "job") {
+      ScenarioJob j;
+      if (!(ls >> j.arrival_ns >> j.hosts >> j.iters)) return std::nullopt;
+      if (j.arrival_ns < 0 || j.hosts == 0 || j.iters == 0) return std::nullopt;
+      s.jobs.push_back(j);
     } else {
       return std::nullopt;
     }
@@ -373,7 +381,23 @@ Scenario random_scenario(std::uint64_t seed) {
       s.faults.push_back(f);
     }
   }
+  // Drawn AFTER every pre-existing field so adding the jobsmix phase left
+  // all earlier sweeps' scenarios (and the committed corpus) bit-identical.
+  if (rng.bernoulli(0.30)) ensure_jobs(s);
   return s;
+}
+
+void ensure_jobs(Scenario& scenario) {
+  if (!scenario.jobs.empty()) return;
+  Rng rng{scenario.seed ^ 0x0B5F2A6CD1E94B73ULL};
+  const int count = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < count; ++i) {
+    ScenarioJob j;
+    j.arrival_ns = rng.uniform_int(0, 200'000'000);  // first 200 ms
+    j.hosts = static_cast<std::uint32_t>(rng.uniform_int(1, 24));
+    j.iters = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    scenario.jobs.push_back(j);
+  }
 }
 
 Materialized materialize(const Scenario& scenario) {
@@ -519,6 +543,11 @@ std::uint64_t scenario_weight(const Scenario& scenario) {
        std::uint64_t{1'000'000'000'000'000};
   w += scenario.flows.size() * std::uint64_t{1'000'000'000'000};
   w += scenario.faults.size() * std::uint64_t{1'000'000'000};
+  for (const ScenarioJob& j : scenario.jobs) {
+    // Jobs weigh like faults, plus their iteration count so halving the
+    // work inside a job is also a strict shrink.
+    w += std::uint64_t{1'000'000'000} + j.iters * std::uint64_t{100'000'000};
+  }
   w += static_cast<std::uint64_t>(scenario.size_knob) * std::uint64_t{1'000'000};
   w += static_cast<std::uint64_t>(scenario.wiring) * std::uint64_t{10'000};
   return w;
@@ -552,6 +581,32 @@ std::vector<Scenario> shrink_candidates(const Scenario& scenario) {
     Scenario back = scenario;
     back.faults.resize(scenario.faults.size() - half);
     push(std::move(back));
+  }
+  // Drop half the jobs.
+  if (scenario.jobs.size() > 1) {
+    const std::size_t half = scenario.jobs.size() / 2;
+    Scenario front = scenario;
+    front.jobs.erase(front.jobs.begin(),
+                     front.jobs.begin() + static_cast<std::ptrdiff_t>(half));
+    push(std::move(front));
+    Scenario back = scenario;
+    back.jobs.resize(scenario.jobs.size() - half);
+    push(std::move(back));
+  }
+  // Drop individual jobs / halve their iterations.
+  if (scenario.jobs.size() <= 8) {
+    for (std::size_t i = 0; !scenario.jobs.empty() && i < scenario.jobs.size(); ++i) {
+      Scenario cand = scenario;
+      cand.jobs.erase(cand.jobs.begin() + static_cast<std::ptrdiff_t>(i));
+      push(std::move(cand));
+    }
+  }
+  bool any_multi_iter = false;
+  for (const ScenarioJob& j : scenario.jobs) any_multi_iter |= j.iters > 1;
+  if (any_multi_iter) {
+    Scenario lighter = scenario;
+    for (ScenarioJob& j : lighter.jobs) j.iters = std::max<std::uint32_t>(1, j.iters / 2);
+    push(std::move(lighter));
   }
   // Cross-kind simplification toward the 4-8 node terminal.
   if (scenario.topology != TopologyKind::kTinyClos) {

@@ -62,6 +62,18 @@ struct ScenarioFault {
 
 std::string_view to_string(ScenarioFault::Kind kind);
 
+/// One training job for the cluster-scheduler (jobsmix) phase. Like flow
+/// endpoints, `hosts` is a recipe: it is clamped to the schedulable pool
+/// when the phase builds its cluster, so any value is valid — dropping or
+/// shrinking jobs can never produce an out-of-range scenario.
+struct ScenarioJob {
+  std::int64_t arrival_ns = 0;
+  std::uint32_t hosts = 1;
+  std::uint32_t iters = 1;
+
+  bool operator==(const ScenarioJob&) const = default;
+};
+
 struct Scenario {
   std::uint64_t seed = 0;  ///< Master seed (labels the repro; not re-drawn).
   TopologyKind topology = TopologyKind::kTinyClos;
@@ -74,6 +86,9 @@ struct Scenario {
   std::uint32_t wiring = 1;
   std::vector<ScenarioFlow> flows;
   std::vector<ScenarioFault> faults;
+  /// Non-empty arms the jobsmix phase: the jobs replay through the
+  /// multi-tenant cluster scheduler under every placement policy.
+  std::vector<ScenarioJob> jobs;
 
   bool operator==(const Scenario&) const = default;
 
@@ -85,6 +100,11 @@ struct Scenario {
 
 /// Draw a random scenario from a seed (topology kind, workload, faults).
 Scenario random_scenario(std::uint64_t seed);
+
+/// Deterministically add a job mix drawn from `scenario.seed` (no-op when
+/// jobs are already present). `hpnsim_fuzz --jobsmix` applies this to every
+/// drawn scenario so the whole sweep exercises the cluster scheduler.
+void ensure_jobs(Scenario& scenario);
 
 /// A scenario bound to a concrete cluster: resolved paths, cables, faults.
 struct Materialized {
