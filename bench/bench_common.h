@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "exec/runner_pool.h"
@@ -29,28 +32,79 @@ inline constexpr const char* kResultsDir = "results";
 ///                    trades wall time, never output)
 ///   --csv <path>     write the result CSV to an explicit file instead of
 ///                    the default results/<bench-name>.csv
+///
+/// Parsing is strict: an unknown flag, a positional argument, a missing
+/// value, or a non-numeric count prints a usage line to stderr and exits 2
+/// instead of being silently ignored (a typo'd `--smok` used to run the
+/// full-scale bench in CI). Bench-specific value flags (e.g. microperf's
+/// `--flows`) register through `extra_value_flags`; their values come back
+/// via extra_value().
 struct Args {
   bool smoke = false;
   std::string trace_path;
   std::string csv_path;
   int jobs = 1;
   int shards = 0;  ///< 0 = the bench's default shard ladder.
+  std::vector<std::pair<std::string, std::string>> extra;  ///< registered flags
 
-  static Args parse(int argc, char** argv) {
+  [[nodiscard]] const std::string* extra_value(std::string_view flag) const {
+    for (const auto& [f, v] : extra) {
+      if (f == flag) return &v;
+    }
+    return nullptr;
+  }
+
+  static Args parse(int argc, char** argv,
+                    std::initializer_list<const char*> extra_value_flags = {}) {
+    const auto fail = [&](const std::string& why) {
+      std::cerr << "error: " << why << "\n"
+                << "usage: " << (argc > 0 ? argv[0] : "bench")
+                << " [--smoke] [--trace <path>] [--csv <path>] [--jobs N]"
+                << " [--shards N]";
+      for (const char* f : extra_value_flags) std::cerr << " [" << f << " <value>]";
+      std::cerr << "\n";
+      std::exit(2);
+    };
+    const auto need_value = [&](int& i, const char* flag) -> const char* {
+      if (i + 1 >= argc) fail(std::string{"missing value for "} + flag);
+      return argv[++i];
+    };
+    const auto parse_int = [&](const char* flag, const char* text) {
+      char* end = nullptr;
+      const long v = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0') {
+        fail(std::string{flag} + " wants an integer, got '" + text + "'");
+      }
+      return static_cast<int>(v);
+    };
     Args a;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--smoke") == 0) {
         a.smoke = true;
-      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-        a.trace_path = argv[++i];
-      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-        a.csv_path = argv[++i];
-      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        a.jobs = std::atoi(argv[++i]);
-        if (a.jobs < 1) a.jobs = 1;
-      } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-        a.shards = std::atoi(argv[++i]);
-        if (a.shards < 2) a.shards = 0;
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        a.trace_path = need_value(i, "--trace");
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
+        a.csv_path = need_value(i, "--csv");
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        a.jobs = parse_int("--jobs", need_value(i, "--jobs"));
+        if (a.jobs < 1) fail("--jobs must be >= 1");
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        a.shards = parse_int("--shards", need_value(i, "--shards"));
+        if (a.shards < 2) a.shards = 0;  // documented: <2 = default ladder
+      } else {
+        bool matched = false;
+        for (const char* f : extra_value_flags) {
+          if (std::strcmp(argv[i], f) == 0) {
+            a.extra.emplace_back(f, need_value(i, f));
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          fail(argv[i][0] == '-'
+                   ? std::string{"unknown flag '"} + argv[i] + "'"
+                   : std::string{"unexpected argument '"} + argv[i] + "'");
+        }
       }
     }
     return a;

@@ -466,12 +466,10 @@ int run_scaling_section(bool smoke, std::size_t max_flows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const hpn::bench::Args args = hpn::bench::Args::parse(argc, argv);
+  const hpn::bench::Args args = hpn::bench::Args::parse(argc, argv, {"--flows"});
   std::size_t max_flows = std::numeric_limits<std::size_t>::max();
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--flows") == 0 && i + 1 < argc) {
-      max_flows = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    }
+  if (const std::string* flows = args.extra_value("--flows")) {
+    max_flows = static_cast<std::size_t>(std::strtoull(flows->c_str(), nullptr, 10));
   }
 
   hpn::bench::banner("Solver microperf — macro-flow hot path",

@@ -30,6 +30,15 @@
 //                                          policy; prints per-job JCTs and
 //                                          the run summary (same build
 //                                          flags scale the fabric)
+//   hpnsim serve   [--jobs N] [--cache-mb N] [--max-bases N]
+//                  [--max-query-kb N]       capacity-planning query daemon on
+//                                          stdin/stdout (wrap with socat/nc
+//                                          for a socket); see README "Query
+//                                          service" for the protocol
+//
+// Argument parsing is strict: unknown flags, unexpected positional
+// arguments, and missing/malformed flag values print usage and exit 2 —
+// they are never silently ignored.
 //
 // `--trace <path>` works on any command that runs the simulator; a `.json`
 // suffix selects Chrome trace_event format (open in chrome://tracing or
@@ -57,6 +66,7 @@
 #include "routing/int_probe.h"
 #include "routing/router.h"
 #include "routing/shard_classify.h"
+#include "serve/serve.h"
 #include "sim/pdes.h"
 #include "topo/builders.h"
 #include "topo/partition.h"
@@ -93,10 +103,14 @@ struct Options {
   bool segments_set = false;
   bool hosts_set = false;
   bool pods_set = false;
+  // `serve` command.
+  int cache_mb = 64;
+  int max_bases = 8;
+  int max_query_kb = 1024;
 };
 
 void usage() {
-  std::cout << "usage: hpnsim <build|trace|probe|scale|failover|sweep|pdes|cluster>"
+  std::cout << "usage: hpnsim <build|trace|probe|scale|failover|sweep|pdes|cluster|serve>"
                " [options]\n"
             << "  --arch hpn|dcn|fattree   architecture (default hpn)\n"
             << "  --fabric <name>          fabric strategy from the registry:\n"
@@ -112,27 +126,52 @@ void usage() {
             << "                           byte-identical at any N)\n"
             << "  trace/probe: <src_rank> <dst_rank> [--sport P]\n"
             << "  cluster: --policy random|locality|frag-min  placement policy\n"
-            << "           --seed S --jobs-count N --faults N  trace knobs\n";
+            << "           --seed S --jobs-count N --faults N  trace knobs\n"
+            << "  serve:   --jobs N         query-batch workers (replies are\n"
+            << "                            byte-identical at any N)\n"
+            << "           --cache-mb N     result-cache memory cap (default 64)\n"
+            << "           --max-bases N    warm base scenarios kept (default 8)\n"
+            << "           --max-query-kb N inline scenario size cap (default 1024)\n";
 }
 
+/// Usage errors (unknown flag, junk value, stray positional) throw
+/// ConfigError; main() prints the message plus usage and exits 2 — a typo
+/// must never silently run a different experiment than the one asked for.
 Options parse(int argc, char** argv) {
   Options o;
   if (argc < 2) {
     usage();
-    std::exit(1);
+    std::exit(2);
   }
   o.command = argv[1];
+  // trace/probe take exactly two positional ranks; no other command takes
+  // positional arguments at all.
+  const bool takes_ranks = o.command == "trace" || o.command == "probe";
   int positional = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    auto next_int = [&](int& out) {
+    auto next_str = [&]() -> std::string {
       if (i + 1 >= argc) throw ConfigError{"missing value for " + a};
-      out = std::atoi(argv[++i]);
+      return argv[++i];
     };
-    if (a == "--arch" && i + 1 < argc) {
-      o.arch = argv[++i];
-    } else if (a == "--fabric" && i + 1 < argc) {
-      o.fabric = argv[++i];
+    auto parse_int = [&](const std::string& text) {
+      std::size_t used = 0;
+      int v = 0;
+      try {
+        v = std::stoi(text, &used);
+      } catch (const std::exception&) {
+        throw ConfigError{a + " wants an integer, got '" + text + "'"};
+      }
+      if (used != text.size()) {
+        throw ConfigError{a + " wants an integer, got '" + text + "'"};
+      }
+      return v;
+    };
+    auto next_int = [&](int& out) { out = parse_int(next_str()); };
+    if (a == "--arch") {
+      o.arch = next_str();
+    } else if (a == "--fabric") {
+      o.fabric = next_str();
     } else if (a == "--segments") {
       next_int(o.segments);
       o.segments_set = true;
@@ -142,8 +181,8 @@ Options parse(int argc, char** argv) {
     } else if (a == "--pods") {
       next_int(o.pods);
       o.pods_set = true;
-    } else if (a == "--policy" && i + 1 < argc) {
-      o.policy = argv[++i];
+    } else if (a == "--policy") {
+      o.policy = next_str();
     } else if (a == "--seed") {
       int v = 0;
       next_int(v);
@@ -164,21 +203,42 @@ Options parse(int argc, char** argv) {
       int v = 0;
       next_int(v);
       o.sport = static_cast<std::uint16_t>(v);
-    } else if (a == "--trace" && i + 1 < argc) {
-      o.trace_path = argv[++i];
+    } else if (a == "--trace") {
+      o.trace_path = next_str();
     } else if (a == "--jobs") {
       next_int(o.jobs);
-      if (o.jobs < 1) o.jobs = 1;
+      if (o.jobs < 1) throw ConfigError{"--jobs must be >= 1"};
     } else if (a == "--shards") {
       next_int(o.shards);
       if (o.shards < 1) throw ConfigError{"--shards must be >= 1"};
+    } else if (a == "--cache-mb") {
+      next_int(o.cache_mb);
+      if (o.cache_mb < 1) throw ConfigError{"--cache-mb must be >= 1"};
+    } else if (a == "--max-bases") {
+      next_int(o.max_bases);
+      if (o.max_bases < 1) throw ConfigError{"--max-bases must be >= 1"};
+    } else if (a == "--max-query-kb") {
+      next_int(o.max_query_kb);
+      if (o.max_query_kb < 1) throw ConfigError{"--max-query-kb must be >= 1"};
     } else if (!a.empty() && a[0] != '-') {
-      (positional++ == 0 ? o.src : o.dst) = std::atoi(a.c_str());
+      if (!takes_ranks || positional >= 2) {
+        throw ConfigError{"unexpected argument '" + a + "'"};
+      }
+      (positional++ == 0 ? o.src : o.dst) = parse_int(a);
     } else {
-      throw ConfigError{"unknown flag: " + a};
+      throw ConfigError{"unknown flag '" + a + "'"};
     }
   }
   return o;
+}
+
+int cmd_serve(const Options& o) {
+  serve::ServeOptions opts;
+  opts.engine.jobs = o.jobs;
+  opts.engine.cache_bytes = static_cast<std::size_t>(o.cache_mb) << 20;
+  opts.engine.max_bases = static_cast<std::size_t>(o.max_bases);
+  opts.max_query_bytes = static_cast<std::size_t>(o.max_query_kb) << 10;
+  return serve::serve_loop(std::cin, std::cout, opts);
 }
 
 topo::Cluster build_cluster(const Options& o) {
@@ -585,8 +645,16 @@ int main(int argc, char** argv) {
     if (o.command == "sweep") return cmd_sweep(o);
     if (o.command == "pdes") return cmd_pdes(o);
     if (o.command == "cluster") return cmd_cluster(o);
+    if (o.command == "serve") return cmd_serve(o);
+    std::cerr << "error: unknown command '" << o.command << "'\n";
     usage();
-    return 1;
+    return 2;
+  } catch (const ConfigError& e) {
+    // Usage errors: bad flags/values must fail loudly, not run something
+    // other than what was asked for.
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

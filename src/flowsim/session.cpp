@@ -15,8 +15,43 @@ FlowSession::FlowSession(const topo::Topology& topology, sim::Simulator& simulat
                          Aggregation aggregation)
     : topo_{&topology},
       sim_{&simulator},
+      aggregation_{aggregation},
       solver_{topology, aggregation},
       last_settle_{simulator.now()} {}
+
+FlowSession::Snapshot FlowSession::snapshot() const {
+  HPN_CHECK_MSG(flows_.empty(), "session snapshot requires no active flows");
+  HPN_CHECK_MSG(pending_recompute_ == sim::kInvalidEvent &&
+                    pending_completion_ == sim::kInvalidEvent,
+                "session snapshot requires no pending events");
+  Snapshot s;
+  s.next_id = next_id_;
+  s.last_settle = last_settle_;
+  s.delivered = delivered_;
+  s.audit_injected_bits = audit_injected_bits_;
+  s.audit_delivered_bits = audit_delivered_bits_;
+  s.audit_aborted_bits = audit_aborted_bits_;
+  return s;
+}
+
+void FlowSession::restore(const Snapshot& snap) {
+  HPN_CHECK_MSG(flows_.empty(), "session restore requires no active flows");
+  HPN_CHECK_MSG(pending_recompute_ == sim::kInvalidEvent &&
+                    pending_completion_ == sim::kInvalidEvent,
+                "session restore requires no pending events");
+  next_id_ = snap.next_id;
+  last_settle_ = snap.last_settle;
+  delivered_ = snap.delivered;
+  audit_injected_bits_ = snap.audit_injected_bits;
+  audit_delivered_bits_ = snap.audit_delivered_bits;
+  audit_aborted_bits_ = snap.audit_aborted_bits;
+  trace_.clear();
+  // A fresh solver, not a rollback: with zero active flows the old one holds
+  // only interned paths and counters, and rebuilding is the one way its
+  // next run re-derives identical PathIds/handles/stats from identical
+  // inputs (see the PathId invalidation note on Snapshot).
+  solver_ = IncrementalMaxMin{*topo_, aggregation_};
+}
 
 FlowId FlowSession::start_flow(const std::vector<LinkId>& path, DataSize size,
                                Bandwidth cap, CompletionFn on_complete) {

@@ -102,6 +102,26 @@ class FlowSession {
   [[nodiscard]] PathTable& paths() { return solver_.paths(); }
   [[nodiscard]] const PathTable& paths() const { return solver_.paths(); }
 
+  /// Session counters captured at quiescence: no active flows and no
+  /// pending recompute/completion events (abort or drain first). Restoring
+  /// resets the session to that point — including rebuilding the solver and
+  /// its path interner from scratch, which INVALIDATES every PathId handed
+  /// out so far (re-intern after restore). Together with
+  /// sim::Simulator::restore this makes repeated what-if re-runs on one
+  /// session byte-identical: flow ids, event sequence numbers, and solver
+  /// state all rewind to the snapshot.
+  struct Snapshot {
+    FlowId::underlying next_id = 1;
+    TimePoint last_settle;
+    DataSize delivered = DataSize::zero();
+    double audit_injected_bits = 0.0;
+    double audit_delivered_bits = 0.0;
+    double audit_aborted_bits = 0.0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
   /// Record every flow's start/finish/path for offline analysis. Off by
   /// default (collectives create millions of flows in long runs).
   void enable_tracing(bool on) { tracing_ = on; }
@@ -136,6 +156,7 @@ class FlowSession {
 
   const topo::Topology* topo_;
   sim::Simulator* sim_;
+  Aggregation aggregation_;  ///< kept so restore() can rebuild the solver
   IncrementalMaxMin solver_;
   std::unordered_map<FlowId, ActiveFlow> flows_;
   FlowId::underlying next_id_ = 1;

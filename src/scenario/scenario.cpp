@@ -1,8 +1,9 @@
-#include "tests/support/scenario.h"
+#include "scenario/scenario.h"
 
 #include <algorithm>
 #include <bit>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -155,20 +156,20 @@ topo::Cluster build_random_net(std::uint64_t seed, std::uint32_t nodes_knob,
   return c;
 }
 
-std::uint64_t parse_u64(std::string_view token, bool& ok) {
-  std::uint64_t value = 0;
-  if (token.empty()) {
-    ok = false;
-    return 0;
-  }
+enum class NumParse : std::uint8_t { kOk, kMalformed, kOverflow };
+
+NumParse parse_u64_checked(std::string_view token, std::uint64_t& value) {
+  value = 0;
+  if (token.empty()) return NumParse::kMalformed;
   for (const char ch : token) {
-    if (ch < '0' || ch > '9') {
-      ok = false;
-      return 0;
+    if (ch < '0' || ch > '9') return NumParse::kMalformed;
+    const auto digit = static_cast<std::uint64_t>(ch - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return NumParse::kOverflow;
     }
-    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    value = value * 10 + digit;
   }
-  return value;
+  return NumParse::kOk;
 }
 
 int topology_rank(TopologyKind kind) {
@@ -181,6 +182,7 @@ int topology_rank(TopologyKind kind) {
     case TopologyKind::kRailX: return 5;
     case TopologyKind::kUbMesh: return 6;
     case TopologyKind::kRandom: return 7;
+    case TopologyKind::kHpnPod: return 8;
   }
   return 0;
 }
@@ -197,6 +199,7 @@ std::string_view to_string(TopologyKind kind) {
     case TopologyKind::kRailX: return "railx_lite";
     case TopologyKind::kUbMesh: return "ubmesh_lite";
     case TopologyKind::kRandom: return "random";
+    case TopologyKind::kHpnPod: return "hpn_pod";
   }
   return "unknown";
 }
@@ -205,7 +208,7 @@ std::optional<TopologyKind> topology_kind_from(std::string_view name) {
   for (const TopologyKind k :
        {TopologyKind::kTinyClos, TopologyKind::kHpnSegment, TopologyKind::kDcnPlus,
         TopologyKind::kFatTree, TopologyKind::kRailOnly, TopologyKind::kRailX,
-        TopologyKind::kUbMesh, TopologyKind::kRandom}) {
+        TopologyKind::kUbMesh, TopologyKind::kRandom, TopologyKind::kHpnPod}) {
     if (to_string(k) == name) return k;
   }
   return std::nullopt;
@@ -242,48 +245,148 @@ std::string Scenario::to_text() const {
   return os.str();
 }
 
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
 std::optional<Scenario> Scenario::from_text(std::string_view text) {
+  return from_text(text, nullptr);
+}
+
+std::optional<Scenario> Scenario::from_text(std::string_view text, std::string* error) {
+  const auto set_error = [&](std::string msg) {
+    if (error) *error = std::move(msg);
+  };
   std::istringstream is{std::string{text}};
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) return std::nullopt;
+  int line_no = 0;
+  // Next meaningful line: strips the CR of CRLF endings and '#'-to-EOL
+  // comments, skips blank lines. Formatting leniency lives entirely here;
+  // everything below is strict.
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      if (line.find_first_not_of(" \t") != std::string::npos) return true;
+    }
+    return false;
+  };
+  const auto fail_at = [&](int at, std::string msg) -> std::optional<Scenario> {
+    set_error("line " + std::to_string(at) + ": " + std::move(msg));
+    return std::nullopt;
+  };
+
+  if (!next_line()) {
+    set_error("truncated scenario: missing header");
+    return std::nullopt;
+  }
+  {
+    std::istringstream hs{line};
+    std::string magic, version, junk;
+    hs >> magic >> version;
+    if (magic != "hpnsim-scenario" || version != "v1" || (hs >> junk)) {
+      return fail_at(line_no, "bad header (want 'hpnsim-scenario v1')");
+    }
+  }
 
   Scenario s;
+  bool saw_seed = false;
+  bool saw_topology = false;
+  bool saw_size = false;
+  bool saw_wiring = false;
   bool saw_end = false;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
+  while (next_line()) {
     std::istringstream ls{line};
     std::string key;
     ls >> key;
+    // True when the line has no tokens left (trailing junk is an error on
+    // every entry: it usually means a truncated/merged line, and silently
+    // ignoring it is how corrupted scenarios replay "clean").
+    const auto line_done = [&ls]() -> bool {
+      std::string junk;
+      return !(ls >> junk);
+    };
+    // One base-10 token as u32 (recipe indices/knobs are all u32).
+    const auto read_u32 = [&ls](std::uint32_t& out, const char* what,
+                                std::string& msg) -> bool {
+      std::string tok;
+      std::uint64_t v = 0;
+      if (!(ls >> tok) || parse_u64_checked(tok, v) == NumParse::kMalformed) {
+        msg = std::string("malformed '") + what + "' entry";
+        return false;
+      }
+      if (v > std::numeric_limits<std::uint32_t>::max()) {
+        msg = std::string("'") + what + "' value out of range";
+        return false;
+      }
+      out = static_cast<std::uint32_t>(v);
+      return true;
+    };
+    std::string msg;
+
     if (key == "end") {
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'end'");
       saw_end = true;
       break;
     }
     if (key == "seed") {
+      if (saw_seed) return fail_at(line_no, "duplicate 'seed'");
+      saw_seed = true;
       std::string tok;
-      ls >> tok;
-      bool ok = true;
-      s.seed = parse_u64(tok, ok);
-      if (!ok) return std::nullopt;
+      if (!(ls >> tok)) return fail_at(line_no, "malformed 'seed' entry");
+      switch (parse_u64_checked(tok, s.seed)) {
+        case NumParse::kMalformed: return fail_at(line_no, "malformed 'seed' entry");
+        case NumParse::kOverflow:
+          return fail_at(line_no, "'seed' does not fit in 64 bits");
+        case NumParse::kOk: break;
+      }
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'seed'");
     } else if (key == "topology") {
+      if (saw_topology) return fail_at(line_no, "duplicate 'topology'");
+      saw_topology = true;
       std::string name;
-      ls >> name;
+      if (!(ls >> name)) return fail_at(line_no, "malformed 'topology' entry");
       const auto kind = topology_kind_from(name);
-      if (!kind) return std::nullopt;
+      if (!kind) return fail_at(line_no, "unknown topology '" + name + "'");
       s.topology = *kind;
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'topology'");
     } else if (key == "size") {
-      if (!(ls >> s.size_knob)) return std::nullopt;
+      if (saw_size) return fail_at(line_no, "duplicate 'size'");
+      saw_size = true;
+      if (!read_u32(s.size_knob, "size", msg)) return fail_at(line_no, msg);
+      if (s.size_knob == 0) return fail_at(line_no, "'size' must be >= 1");
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'size'");
     } else if (key == "wiring") {
-      if (!(ls >> s.wiring)) return std::nullopt;
+      if (saw_wiring) return fail_at(line_no, "duplicate 'wiring'");
+      saw_wiring = true;
+      if (!read_u32(s.wiring, "wiring", msg)) return fail_at(line_no, msg);
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'wiring'");
     } else if (key == "flow") {
       ScenarioFlow f;
-      if (!(ls >> f.src >> f.dst >> f.size_bytes >> f.cap_gbps)) return std::nullopt;
-      if (f.size_bytes < 0 || !(f.cap_gbps > 0.0)) return std::nullopt;
+      if (!read_u32(f.src, "flow", msg) || !read_u32(f.dst, "flow", msg)) {
+        return fail_at(line_no, msg);
+      }
+      if (!(ls >> f.size_bytes >> f.cap_gbps)) {
+        return fail_at(line_no, "malformed 'flow' entry");
+      }
+      if (f.size_bytes < 0) return fail_at(line_no, "'flow' size_bytes must be >= 0");
+      if (!(f.cap_gbps > 0.0) || !(f.cap_gbps <= 10'000.0)) {
+        return fail_at(line_no, "'flow' cap_gbps out of range (0, 10000]");
+      }
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'flow'");
       s.flows.push_back(f);
     } else if (key == "fault") {
       ScenarioFault f;
       std::string kind_name;
-      if (!(ls >> kind_name >> f.at_ns >> f.target >> f.down_for_ns)) return std::nullopt;
-      if (f.at_ns < 0 || f.down_for_ns < 0) return std::nullopt;
+      if (!(ls >> kind_name)) return fail_at(line_no, "malformed 'fault' entry");
       if (kind_name == "link_fail") {
         f.kind = ScenarioFault::Kind::kLinkFail;
       } else if (kind_name == "link_flap") {
@@ -291,19 +394,39 @@ std::optional<Scenario> Scenario::from_text(std::string_view text) {
       } else if (kind_name == "tor_crash") {
         f.kind = ScenarioFault::Kind::kTorCrash;
       } else {
-        return std::nullopt;
+        return fail_at(line_no, "unknown fault kind '" + kind_name + "'");
       }
+      if (!(ls >> f.at_ns)) return fail_at(line_no, "malformed 'fault' entry");
+      if (!read_u32(f.target, "fault", msg)) return fail_at(line_no, msg);
+      if (!(ls >> f.down_for_ns)) return fail_at(line_no, "malformed 'fault' entry");
+      if (f.at_ns < 0 || f.down_for_ns < 0) {
+        return fail_at(line_no, "'fault' times must be >= 0");
+      }
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'fault'");
       s.faults.push_back(f);
     } else if (key == "job") {
       ScenarioJob j;
-      if (!(ls >> j.arrival_ns >> j.hosts >> j.iters)) return std::nullopt;
-      if (j.arrival_ns < 0 || j.hosts == 0 || j.iters == 0) return std::nullopt;
+      if (!(ls >> j.arrival_ns)) return fail_at(line_no, "malformed 'job' entry");
+      if (!read_u32(j.hosts, "job", msg) || !read_u32(j.iters, "job", msg)) {
+        return fail_at(line_no, msg);
+      }
+      if (j.arrival_ns < 0) return fail_at(line_no, "'job' arrival_ns must be >= 0");
+      if (j.hosts == 0 || j.iters == 0) {
+        return fail_at(line_no, "'job' hosts and iters must be >= 1");
+      }
+      if (!line_done()) return fail_at(line_no, "trailing junk after 'job'");
       s.jobs.push_back(j);
     } else {
-      return std::nullopt;
+      return fail_at(line_no, "unknown key '" + key + "'");
     }
   }
-  if (!saw_end) return std::nullopt;
+  if (!saw_end) {
+    set_error("truncated scenario: missing 'end'");
+    return std::nullopt;
+  }
+  // Only blank/comment lines may follow 'end' — real content after it means
+  // two scenarios were concatenated or the file was corrupted mid-write.
+  if (next_line()) return fail_at(line_no, "content after 'end'");
   return s;
 }
 
@@ -412,6 +535,23 @@ Materialized materialize(const Scenario& scenario) {
       cfg.segments_per_pod = 2;  // >1 so tier2 exists and BGP has transit
       cfg.hosts_per_segment =
           static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 3));
+      cfg.gpus_per_host = 2;
+      cfg.tor_uplinks = 2;
+      cfg.aggs_per_plane = 2;
+      cfg.agg_core_uplinks = 1;
+      m.cluster = topo::build_hpn(cfg);
+      break;
+    }
+    case TopologyKind::kHpnPod: {
+      // Honest Pod scale for the serve daemon / bench_serve: tens of
+      // segments, up to thousands of NICs. Fuzz sweeps never draw it, so
+      // only serve-scale callers pay for the build.
+      topo::HpnConfig cfg;
+      cfg.pods = 1;
+      cfg.segments_per_pod =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.wiring, 1, 16));
+      cfg.hosts_per_segment =
+          static_cast<int>(std::clamp<std::uint32_t>(scenario.size_knob, 1, 128));
       cfg.gpus_per_host = 2;
       cfg.tor_uplinks = 2;
       cfg.aggs_per_plane = 2;
@@ -531,6 +671,10 @@ Materialized materialize(const Scenario& scenario) {
                      return a.at < b.at;
                    });
   return m;
+}
+
+std::vector<LinkId> shortest_path(const topo::Topology& topo, NodeId src, NodeId dst) {
+  return bfs_path(topo, src, dst);
 }
 
 std::uint64_t scenario_weight(const Scenario& scenario) {

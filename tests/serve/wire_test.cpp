@@ -1,0 +1,134 @@
+// serve/wire.h codec: exact round-trips (doubles must survive bit-for-bit —
+// the result cache depends on it), versioning, and rejection of truncated,
+// corrupted, and over-long byte strings.
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "serve/wire.h"
+
+namespace hpn::serve {
+namespace {
+
+fuzz::Scenario sample_scenario() {
+  fuzz::Scenario s;
+  s.seed = 0xDEADBEEFCAFEF00Dull;
+  s.topology = fuzz::TopologyKind::kHpnPod;
+  s.size_knob = 16;
+  s.wiring = 4;
+  s.flows.push_back({0, 9, 1 << 20, 98.76543210123456});
+  s.flows.push_back({3, 1, 0, 0.0030000000000000001});
+  s.faults.push_back({fuzz::ScenarioFault::Kind::kLinkFlap, 1'000'000, 7, 500});
+  s.faults.push_back({fuzz::ScenarioFault::Kind::kTorCrash, 0, 1, 0});
+  s.jobs.push_back({2'000, 8, 3});
+  return s;
+}
+
+QueryResult sample_result() {
+  QueryResult r;
+  r.base_flows = {{12.345678901234567, false}, {0.0, true}};
+  r.job_flows = {{1.0 / 3.0, false}};
+  r.fcts = {{0.001234567890123456, true}, {0.0, false}};
+  r.stalled = 1;
+  r.total_gbps = 12.345678901234567 + 1.0 / 3.0;
+  r.min_gbps = 1.0 / 3.0;
+  return r;
+}
+
+TEST(Wire, ScenarioRoundTripsExactly) {
+  const fuzz::Scenario s = sample_scenario();
+  const std::string bytes = encode_scenario(s);
+  std::string error;
+  const auto back = decode_scenario(bytes, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, s);
+  // Deterministic: same scenario, same bytes.
+  EXPECT_EQ(encode_scenario(*back), bytes);
+}
+
+TEST(Wire, RandomScenariosRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    fuzz::Scenario s = fuzz::random_scenario(seed);
+    if (seed % 2 == 0) fuzz::ensure_jobs(s);
+    const auto back = decode_scenario(encode_scenario(s));
+    ASSERT_TRUE(back.has_value()) << seed;
+    EXPECT_EQ(*back, s) << seed;
+  }
+}
+
+TEST(Wire, ResultRoundTripsBitExactly) {
+  const QueryResult r = sample_result();
+  const std::string bytes = encode_result(r);
+  const auto back = decode_result(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);  // operator== compares doubles exactly
+  EXPECT_EQ(encode_result(*back), bytes);
+}
+
+TEST(Wire, ResultRoundTripsSpecialDoubles) {
+  QueryResult r;
+  r.base_flows = {{std::numeric_limits<double>::denorm_min(), false},
+                  {-0.0, false},
+                  {std::numeric_limits<double>::max(), false}};
+  const auto back = decode_result(encode_result(r));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->base_flows.size(), 3u);
+  EXPECT_EQ(back->base_flows[0].gbps, std::numeric_limits<double>::denorm_min());
+  EXPECT_TRUE(std::signbit(back->base_flows[1].gbps));
+  EXPECT_EQ(back->base_flows[2].gbps, std::numeric_limits<double>::max());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::string bytes = encode_scenario(sample_scenario());
+  bytes[0] = 'X';
+  std::string error;
+  EXPECT_FALSE(decode_scenario(bytes, &error).has_value());
+  EXPECT_EQ(error, "bad magic");
+  // A result blob is not a scenario blob.
+  error.clear();
+  EXPECT_FALSE(decode_scenario(encode_result(sample_result()), &error).has_value());
+  EXPECT_EQ(error, "bad magic");
+}
+
+TEST(Wire, RejectsUnsupportedVersion) {
+  std::string bytes = encode_scenario(sample_scenario());
+  bytes[4] = 99;  // little-endian u16 version right after the 4-byte magic
+  std::string error;
+  EXPECT_FALSE(decode_scenario(bytes, &error).has_value());
+  EXPECT_EQ(error, "unsupported version 99");
+}
+
+TEST(Wire, RejectsTruncationAtEveryLength) {
+  const std::string scenario_bytes = encode_scenario(sample_scenario());
+  for (std::size_t n = 0; n < scenario_bytes.size(); ++n) {
+    EXPECT_FALSE(decode_scenario(scenario_bytes.substr(0, n)).has_value())
+        << "scenario prefix of " << n << " bytes decoded";
+  }
+  const std::string result_bytes = encode_result(sample_result());
+  for (std::size_t n = 0; n < result_bytes.size(); ++n) {
+    EXPECT_FALSE(decode_result(result_bytes.substr(0, n)).has_value())
+        << "result prefix of " << n << " bytes decoded";
+  }
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  std::string error;
+  EXPECT_FALSE(
+      decode_scenario(encode_scenario(sample_scenario()) + "x", &error).has_value());
+  EXPECT_EQ(error, "trailing bytes after scenario");
+  EXPECT_FALSE(decode_result(encode_result(sample_result()) + "x", &error).has_value());
+  EXPECT_EQ(error, "trailing bytes after result");
+}
+
+TEST(Wire, RejectsOutOfRangeEnums) {
+  // Corrupt the topology id (offset: magic 4 + version 2 + seed 8 = 14).
+  std::string bytes = encode_scenario(sample_scenario());
+  bytes[14] = 0x7F;
+  std::string error;
+  EXPECT_FALSE(decode_scenario(bytes, &error).has_value());
+  EXPECT_EQ(error, "unknown topology id 127");
+}
+
+}  // namespace
+}  // namespace hpn::serve
